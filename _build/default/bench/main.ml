@@ -1,0 +1,152 @@
+(* Benchmark and reproduction harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. regenerates every table and figure of the paper (the rows are
+      printed, and EXPERIMENTS.md records paper-vs-measured); and
+   2. times the regeneration of each experiment with Bechamel — one
+      Test.make per paper artifact plus the core kernels, so
+      performance regressions in the scheduler itself show up here. *)
+
+open Bechamel
+open Toolkit
+
+module W = Mimd_workloads
+module Config = Mimd_machine.Config
+
+(* ---------------------------------------------------------------- *)
+(* Part 1: regenerate every table and figure                          *)
+
+let reproduce () =
+  print_endline "==================================================================";
+  print_endline " Reproduction of Kim & Nicolau 1990, 'Parallelizing";
+  print_endline " Non-Vectorizable Loops for MIMD Machines' — every table & figure";
+  print_endline "==================================================================";
+  List.iter
+    (fun (id, text) ->
+      Printf.printf "\n=== %s ===\n%s" id text;
+      flush stdout)
+    (Mimd_experiments.Figures.all ());
+  print_endline "\n=== TABLE 1 ===";
+  let rows, summary = Mimd_experiments.Table1.run () in
+  print_string (Mimd_experiments.Table1.render (rows, summary));
+  Printf.printf
+    "paper Table 1(b): x 47.4 / 39.1 / 30.3, DOACROSS 16.3 / 13.1 / 9.5, factors 2.9 / 3.0 / 3.3\n";
+  print_endline "\n=== PATTERN-STATS (Sec. 2.2: \"M typically less than 10\") ===";
+  print_string
+    (Mimd_experiments.Pattern_stats.render
+       (Mimd_experiments.Pattern_stats.paper_workloads ()
+       @ Mimd_experiments.Pattern_stats.random_loops ()));
+  List.iter
+    (fun (id, text) -> Printf.printf "\n=== %s ===\n%s" id text)
+    (Mimd_experiments.Scaling.all ());
+  print_endline "\n=== CONVERGE ===";
+  List.iter
+    (fun (label, g, machine) ->
+      print_string
+        (Mimd_experiments.Convergence.render ~label
+           (Mimd_experiments.Convergence.measure ~graph:g ~machine ())))
+    [
+      ("fig7", W.Fig7.graph (), W.Fig7.machine);
+      ("cytron86", W.Cytron86.graph (), W.Cytron86.machine);
+    ];
+  flush stdout
+
+(* ---------------------------------------------------------------- *)
+(* Part 2: Bechamel timings                                           *)
+
+let solve_cyclic g machine () =
+  let cls = Mimd_core.Classify.run g in
+  let core, _, _ = Mimd_core.Classify.cyclic_subgraph g cls in
+  ignore (Mimd_core.Cyclic_sched.solve ~graph:core ~machine ())
+
+let tests =
+  let fig7 = W.Fig7.graph () in
+  let cytron = W.Cytron86.graph () in
+  let ll18 = W.Livermore.graph () in
+  let ewf = W.Elliptic.graph () in
+  let m2 = Config.make ~processors:2 ~comm_estimate:2 in
+  let m4 = Config.make ~processors:4 ~comm_estimate:3 in
+  let random_cyclic =
+    match W.Random_loop.generate_cyclic ~seed:1 () with
+    | Some g -> g
+    | None -> fig7
+  in
+  [
+    Test.make ~name:"FIG1 classify"
+      (Staged.stage (fun () -> ignore (Mimd_core.Classify.run (W.Fig1.graph ()))));
+    Test.make ~name:"FIG3 pattern"
+      (Staged.stage (fun () ->
+           ignore
+             (Mimd_core.Cyclic_sched.solve ~graph:(W.Fig3.graph ()) ~machine:W.Fig3.machine ())));
+    Test.make ~name:"FIG7 front-end+solve"
+      (Staged.stage (fun () ->
+           let a =
+             Mimd_loop_ir.Depend.analyze_string ~cost:Mimd_loop_ir.Cost.uniform W.Fig7.source
+           in
+           ignore
+             (Mimd_core.Cyclic_sched.solve ~graph:a.Mimd_loop_ir.Depend.graph ~machine:m2 ())));
+    Test.make ~name:"FIG8 doacross exhaustive reorder"
+      (Staged.stage (fun () ->
+           ignore (Mimd_doacross.Reorder.exhaustive ~graph:fig7 ~machine:m2 ())));
+    Test.make ~name:"FIG9-10 full pipeline + codegen" (Staged.stage (fun () ->
+        let full = Mimd_core.Full_sched.run ~strategy:Mimd_core.Full_sched.Separate ~graph:cytron ~machine:m2 ~iterations:30 () in
+        ignore (Mimd_codegen.From_schedule.run full.Mimd_core.Full_sched.schedule)));
+    Test.make ~name:"FIG11 ll18 solve" (Staged.stage (solve_cyclic ll18 m2));
+    Test.make ~name:"FIG12 ewf solve" (Staged.stage (solve_cyclic ewf m2));
+    Test.make ~name:"TAB1 one cell (seed 1, mm=3)"
+      (Staged.stage (fun () ->
+           let links = Mimd_sim.Links.uniform ~base:3 ~mm:3 ~seed:34 in
+           ignore
+             (Mimd_experiments.Compare.cyclic_only ~iterations:50 ~links ~graph:random_cyclic
+                ~machine:m4 ())));
+    Test.make ~name:"kernel: greedy schedule ewf x100"
+      (Staged.stage (fun () ->
+           ignore
+             (Mimd_core.Cyclic_sched.schedule_iterations ~graph:ewf ~machine:m2
+                ~iterations:100 ())));
+    Test.make ~name:"kernel: simulate ewf x100 mm=5"
+      (Staged.stage (fun () ->
+           let schedule =
+             Mimd_core.Cyclic_sched.schedule_iterations ~graph:ewf ~machine:m2 ~iterations:100 ()
+           in
+           let links = Mimd_sim.Links.uniform ~base:2 ~mm:5 ~seed:9 in
+           ignore (Mimd_sim.Exec.simulate_schedule ~schedule ~links ())));
+    Test.make ~name:"kernel: classification 40-node loop"
+      (Staged.stage (fun () ->
+           ignore (Mimd_core.Classify.run (W.Random_loop.generate ~seed:3 ()))));
+    Test.make ~name:"kernel: unwind+normalize iir4"
+      (Staged.stage (fun () ->
+           ignore
+             (Mimd_ddg.Unwind.normalize (W.Recurrences.iir4 ()).W.Recurrences.graph)));
+    Test.make ~name:"kernel: op-level lowering"
+      (Staged.stage (fun () ->
+           ignore
+             (Mimd_loop_ir.Lower.run_string
+                "for i = 1 to n { P[i] = (P[i-1] * P[i-1] + Q[i-1]) * R[i-1]; Q[i] = P[i] + \
+                 Q[i-1] * R[i-1]; R[i] = Q[i] * R[i-1] + P[i]; }")));
+    Test.make ~name:"kernel: bounds (min cycle ratio) ewf"
+      (Staged.stage (fun () -> ignore (Mimd_core.Bounds.compute ~graph:ewf ~processors:2)));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+  let grouped = Test.make_grouped ~name:"mimdloop" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "\n=== Bechamel timings (one Test.make per experiment) ===";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-45s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  reproduce ();
+  benchmark ()

@@ -1,0 +1,483 @@
+(* mimdloop — command-line driver for the pattern-based MIMD loop
+   scheduler and its evaluation harness. *)
+
+open Cmdliner
+
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+module Classify = Mimd_core.Classify
+module Cyclic_sched = Mimd_core.Cyclic_sched
+module Full_sched = Mimd_core.Full_sched
+module Schedule = Mimd_core.Schedule
+module Pattern = Mimd_core.Pattern
+module W = Mimd_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Workload / input resolution                                         *)
+
+let workloads : (string * (unit -> Graph.t) * string) list =
+  [
+    ("fig1", W.Fig1.graph, "paper Figure 1 classification example");
+    ("fig3", W.Fig3.graph, "paper Figure 3 pattern example");
+    ("fig7", W.Fig7.graph, "paper Figure 7 worked example");
+    ("cytron86", W.Cytron86.graph, "paper Figures 9-10 example from [Cytron86]");
+    ("ll18", W.Livermore.graph, "Livermore Loop 18 (paper Figure 11)");
+    ("ewf", W.Elliptic.graph, "fifth-order elliptic wave filter (paper Figure 12)");
+    ("ll5", (fun () -> (W.Recurrences.ll5 ()).W.Recurrences.graph), "Livermore 5");
+    ("ll11", (fun () -> (W.Recurrences.ll11 ()).W.Recurrences.graph), "Livermore 11");
+    ("ll19", (fun () -> (W.Recurrences.ll19 ()).W.Recurrences.graph), "Livermore 19");
+    ("ll23", (fun () -> (W.Recurrences.ll23 ()).W.Recurrences.graph), "Livermore 23");
+    ("iir4", (fun () -> (W.Recurrences.iir4 ()).W.Recurrences.graph), "4th-order IIR cascade");
+  ]
+
+let load_graph ~workload ~file ~seed =
+  match (workload, file, seed) with
+  | Some name, None, None -> begin
+    match List.find_opt (fun (n, _, _) -> n = name) workloads with
+    | Some (_, f, _) -> Ok (f ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %S; known: %s" name
+           (String.concat ", " (List.map (fun (n, _, _) -> n) workloads)))
+  end
+  | None, Some path, None -> begin
+    match In_channel.with_open_text path In_channel.input_all with
+    | src -> begin
+      match Mimd_loop_ir.Depend.analyze_string src with
+      | a -> Ok a.Mimd_loop_ir.Depend.graph
+      | exception Mimd_loop_ir.Parser.Error msg -> Error ("parse error: " ^ msg)
+      | exception Mimd_loop_ir.Lexer.Error { position; message } ->
+        Error (Printf.sprintf "lex error at %d: %s" position message)
+    end
+    | exception Sys_error e -> Error e
+  end
+  | None, None, Some seed -> begin
+    match W.Random_loop.generate_cyclic ~seed () with
+    | Some g -> Ok g
+    | None -> Error (Printf.sprintf "seed %d yields an empty Cyclic subset" seed)
+  end
+  | None, None, None -> Error "choose an input: --workload, --file or --seed"
+  | _ -> Error "choose exactly one of --workload, --file, --seed"
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+
+let workload_t =
+  let doc = "Named workload (see $(b,mimdloop list))." in
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let file_t =
+  let doc = "Loop source file in the mini language." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let seed_t =
+  let doc = "Random loop (Section 4 generator), Cyclic subset of this seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let processors_t =
+  let doc = "Processors for the Cyclic core." in
+  Arg.(value & opt int 2 & info [ "p"; "processors" ] ~docv:"P" ~doc)
+
+let k_t =
+  let doc = "Estimated communication cost (the paper's k)." in
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+
+let iterations_t =
+  let doc = "Loop trip count for measurements." in
+  Arg.(value & opt int 100 & info [ "n"; "iterations" ] ~docv:"N" ~doc)
+
+let machine_of processors k = Config.make ~processors ~comm_estimate:k
+
+let with_graph workload file seed f =
+  match load_graph ~workload ~file ~seed with
+  | Error e ->
+    prerr_endline ("mimdloop: " ^ e);
+    1
+  | Ok g -> f g
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (n, _, d) -> Printf.printf "%-10s %s\n" n d) workloads;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in workloads") Term.(const run $ const ())
+
+let classify_cmd =
+  let run workload file seed dot =
+    with_graph workload file seed (fun g ->
+        let cls = Classify.run g in
+        if dot then begin
+          let highlight v =
+            match cls.Classify.membership.(v) with
+            | Classify.Flow_in -> Some "lightblue"
+            | Classify.Cyclic -> Some "lightcoral"
+            | Classify.Flow_out -> Some "lightgreen"
+          in
+          print_string (Mimd_ddg.Dot.to_string ~highlight g)
+        end
+        else begin
+          Format.printf "%a@." (Classify.pp ~names:(Graph.name g)) cls;
+          Format.printf "DOALL: %b@." (Classify.is_doall cls)
+        end;
+        0)
+  in
+  let dot_t = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT with subset colours.") in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Partition a loop into Flow-in / Cyclic / Flow-out (paper Fig. 2)")
+    Term.(const run $ workload_t $ file_t $ seed_t $ dot_t)
+
+let schedule_cmd =
+  let run workload file seed processors k iterations =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let full = Full_sched.run ~graph:g ~machine ~iterations () in
+        print_string (Full_sched.report full);
+        (match full.Full_sched.pattern with
+        | Some p -> Format.printf "%a@." Pattern.pp p
+        | None -> ());
+        print_string (Schedule.render_grid ~max_cycles:60 full.Full_sched.schedule);
+        let seq = Mimd_doacross.Sequential.time g ~iterations in
+        let par = Full_sched.parallel_time full in
+        Format.printf "sequential %d, parallel %d -> percentage parallelism %.1f@." seq par
+          (Mimd_core.Metrics.percentage_parallelism ~sequential:seq ~parallel:par);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Run the full pattern-based scheduling pipeline (paper Fig. 6)")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t)
+
+let doacross_cmd =
+  let run workload file seed processors k iterations exhaustive =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let doa =
+          if exhaustive then (Mimd_doacross.Reorder.exhaustive ~graph:g ~machine ()).analysis
+          else Mimd_doacross.Reorder.best ~graph:g ~machine ()
+        in
+        Format.printf "%a@." Mimd_doacross.Doacross.pp doa;
+        let seq = Mimd_doacross.Sequential.time g ~iterations in
+        let par = Mimd_doacross.Doacross.effective_makespan doa ~iterations in
+        Format.printf "sequential %d, parallel %d -> percentage parallelism %.1f@." seq par
+          (Mimd_core.Metrics.percentage_parallelism ~sequential:seq ~parallel:par);
+        0)
+  in
+  let ex_t = Arg.(value & flag & info [ "exhaustive" ] ~doc:"Force exhaustive reordering.") in
+  Cmd.v
+    (Cmd.info "doacross" ~doc:"Run the DOACROSS baseline [Cytron86]")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ ex_t)
+
+let codegen_cmd =
+  let run workload file seed processors k =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let cls = Classify.run g in
+        let core, _, _ =
+          if Classify.is_doall cls then (g, [||], [||]) else Classify.cyclic_subgraph g cls
+        in
+        match Cyclic_sched.solve ~graph:core ~machine () with
+        | r ->
+          print_string (Mimd_codegen.Rolled.render r.Cyclic_sched.pattern);
+          0
+        | exception Cyclic_sched.No_pattern m ->
+          prerr_endline ("mimdloop: " ^ m);
+          1)
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit the transformed per-processor loop (paper Figs. 7(e)/10)")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t)
+
+let simulate_cmd =
+  let run workload file seed processors k iterations mm =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let full = Full_sched.run ~graph:g ~machine ~iterations () in
+        let links =
+          if mm <= 1 then Mimd_sim.Links.fixed k
+          else Mimd_sim.Links.uniform ~base:k ~mm ~seed:42
+        in
+        let out = Mimd_sim.Exec.simulate_schedule ~schedule:full.Full_sched.schedule ~links () in
+        let seq = Mimd_doacross.Sequential.time g ~iterations in
+        Format.printf
+          "simulated makespan %d (static %d), %d messages, %d comm cycles, busy %d@."
+          out.Mimd_sim.Exec.makespan
+          (Full_sched.parallel_time full)
+          out.Mimd_sim.Exec.messages out.Mimd_sim.Exec.comm_cycles out.Mimd_sim.Exec.busy_cycles;
+        Format.printf "percentage parallelism (simulated): %.1f@."
+          (Mimd_core.Metrics.percentage_parallelism ~sequential:seq
+             ~parallel:out.Mimd_sim.Exec.makespan);
+        0)
+  in
+  let mm_t =
+    Arg.(value & opt int 1 & info [ "mm" ] ~docv:"MM" ~doc:"Run-time fluctuation factor.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute the generated programs on the simulated multiprocessor")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ mm_t)
+
+let figures_cmd =
+  let run only =
+    let figs = Mimd_experiments.Figures.all () in
+    let selected =
+      match only with
+      | None -> figs
+      | Some id -> List.filter (fun (i, _) -> String.lowercase_ascii i = String.lowercase_ascii id) figs
+    in
+    if selected = [] then begin
+      prerr_endline "mimdloop: unknown figure id";
+      1
+    end
+    else begin
+      List.iter (fun (id, text) -> Printf.printf "=== %s ===\n%s\n" id text) selected;
+      0
+    end
+  in
+  let only_t =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Single figure id.")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate every figure of the paper")
+    Term.(const run $ only_t)
+
+let table1_cmd =
+  let run iterations processors k =
+    let rows, summary = Mimd_experiments.Table1.run ~iterations ~processors ~k () in
+    print_string (Mimd_experiments.Table1.render (rows, summary));
+    0
+  in
+  let k_t3 = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Estimated comm cost.") in
+  let p_t4 = Arg.(value & opt int 4 & info [ "p"; "processors" ] ~docv:"P" ~doc:"Processors.") in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate paper Table 1 (25 random loops, mm in {1,3,5})")
+    Term.(const run $ iterations_t $ p_t4 $ k_t3)
+
+let bounds_cmd =
+  let run workload file seed processors iterations =
+    with_graph workload file seed (fun g ->
+        let b = Mimd_core.Bounds.compute ~graph:g ~processors in
+        Format.printf "%a@." Mimd_core.Bounds.pp b;
+        let machine = machine_of processors 2 in
+        let sched = Cyclic_sched.schedule_iterations ~graph:(Mimd_ddg.Unwind.normalize g).Mimd_ddg.Unwind.graph ~machine ~iterations () in
+        let makespan = Schedule.makespan sched in
+        Format.printf "greedy schedule: %d cycles for %d iterations (floor %d, efficiency %.2f)@."
+          makespan iterations
+          (Mimd_core.Bounds.makespan_floor b ~iterations)
+          (Mimd_core.Bounds.efficiency b ~iterations ~makespan);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Lower bounds (recurrence/resource/span) and schedule efficiency")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ iterations_t)
+
+let stats_cmd =
+  let run with_random =
+    let rows = Mimd_experiments.Pattern_stats.paper_workloads () in
+    let rows =
+      if with_random then rows @ Mimd_experiments.Pattern_stats.random_loops () else rows
+    in
+    print_string (Mimd_experiments.Pattern_stats.render rows);
+    0
+  in
+  let random_t =
+    Arg.(value & flag & info [ "random" ] ~doc:"Include the Table-1 random loops.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Pattern-search statistics (the paper's M < 10 claim)")
+    Term.(const run $ random_t)
+
+let extensions_cmd =
+  let run () =
+    List.iter
+      (fun (id, text) -> Printf.printf "=== %s ===\n%s\n" id text)
+      (Mimd_experiments.Scaling.all ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "extensions" ~doc:"Extension experiments: processor scaling, granularity, topology")
+    Term.(const run $ const ())
+
+let gantt_cmd =
+  let run workload file seed processors k iterations mm cycles =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let full = Full_sched.run ~graph:g ~machine ~iterations () in
+        let links =
+          if mm <= 1 then Mimd_sim.Links.fixed k
+          else Mimd_sim.Links.uniform ~base:k ~mm ~seed:42
+        in
+        let out =
+          Mimd_sim.Exec.simulate_schedule ~record:true ~schedule:full.Full_sched.schedule
+            ~links ()
+        in
+        print_string
+          (Mimd_sim.Gantt.render ~max_cycles:cycles ~graph:g
+             ~processors:(Full_sched.total_processors full)
+             out.Mimd_sim.Exec.trace);
+        0)
+  in
+  let mm_t = Arg.(value & opt int 1 & info [ "mm" ] ~docv:"MM" ~doc:"Fluctuation factor.") in
+  let cyc_t = Arg.(value & opt int 40 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to draw.") in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"ASCII Gantt chart of the simulated execution")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ mm_t $ cyc_t)
+
+let export_cmd =
+  let run workload file seed processors k iterations =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let full = Full_sched.run ~graph:g ~machine ~iterations () in
+        print_string (Mimd_experiments.Export.schedule_csv full.Full_sched.schedule);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Dump the full schedule as CSV (node,name,iter,PE,start,finish)")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t)
+
+let converge_cmd =
+  let run workload file seed processors k =
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        let rows = Mimd_experiments.Convergence.measure ~graph:g ~machine () in
+        print_string (Mimd_experiments.Convergence.render ~label:"loop" rows);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "converge" ~doc:"Sp versus trip count (start-up transient)")
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t)
+
+let verify_cmd =
+  let run file iterations processors k mm =
+    match file with
+    | None ->
+      prerr_endline "mimdloop: verify needs --file";
+      1
+    | Some path -> begin
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error e ->
+        prerr_endline ("mimdloop: " ^ e);
+        1
+      | src -> begin
+        match Mimd_loop_ir.Parser.parse src with
+        | exception Mimd_loop_ir.Parser.Error m ->
+          prerr_endline ("mimdloop: parse error: " ^ m);
+          1
+        | parsed ->
+          let loop =
+            if Mimd_loop_ir.Ast.is_flat parsed then parsed
+            else Mimd_loop_ir.If_convert.run parsed
+          in
+          let graph = (Mimd_loop_ir.Depend.analyze loop).Mimd_loop_ir.Depend.graph in
+          let machine = machine_of processors k in
+          let schedule =
+            Cyclic_sched.schedule_iterations ~graph ~machine ~iterations ()
+          in
+          let program = Mimd_codegen.From_schedule.run schedule in
+          let links =
+            if mm <= 1 then Mimd_sim.Links.fixed k
+            else Mimd_sim.Links.uniform ~base:k ~mm ~seed:42
+          in
+          let outcome = Mimd_sim.Value_exec.run ~loop ~program ~links () in
+          (match
+             Mimd_sim.Value_exec.check_against_sequential ~loop ~iterations outcome
+           with
+          | Ok () ->
+            Format.printf
+              "OK: parallel execution matches the sequential interpreter bit-for-bit@.\
+               (%d iterations, %d PEs, makespan %d, %d messages)@."
+              iterations processors outcome.Mimd_sim.Value_exec.timing.Mimd_sim.Exec.makespan
+              outcome.Mimd_sim.Value_exec.timing.Mimd_sim.Exec.messages;
+            0
+          | Error e ->
+            Format.printf "MISMATCH: %s@." e;
+            1)
+      end
+    end
+  in
+  let mm_t = Arg.(value & opt int 1 & info [ "mm" ] ~docv:"MM" ~doc:"Fluctuation factor.") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Compile a loop, run it in parallel on the simulator, and compare values against sequential execution")
+    Term.(const run $ file_t $ iterations_t $ processors_t $ k_t $ mm_t)
+
+let report_cmd =
+  let run output iterations =
+    let text = Mimd_experiments.Report.generate ~iterations () in
+    (match output with
+    | None -> print_string text
+    | Some path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text));
+    0
+  in
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the report here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Generate the full markdown reproduction report")
+    Term.(const run $ out_t $ iterations_t)
+
+let procs_cmd =
+  let run workload file seed k max_procs =
+    with_graph workload file seed (fun g ->
+        let cls = Classify.run g in
+        let core, _, _ =
+          if Classify.is_doall cls then (g, [||], [||]) else Classify.cyclic_subgraph g cls
+        in
+        match
+          Mimd_core.Auto_procs.search ~max_processors:max_procs ~graph:core
+            ~comm_estimate:k ()
+        with
+        | t ->
+          print_string (Mimd_core.Auto_procs.render t);
+          0
+        | exception Cyclic_sched.No_pattern m ->
+          prerr_endline ("mimdloop: " ^ m);
+          1)
+  in
+  let max_t =
+    Arg.(value & opt int 8 & info [ "max" ] ~docv:"P" ~doc:"Largest processor count to try.")
+  in
+  Cmd.v
+    (Cmd.info "procs" ~doc:"Find the cheapest processor count for the Cyclic core")
+    Term.(const run $ workload_t $ file_t $ seed_t $ k_t $ max_t)
+
+let random_cmd =
+  let run seed =
+    let g = W.Random_loop.generate ~seed () in
+    Format.printf "%a@." Graph.pp g;
+    let cls = Classify.run g in
+    Format.printf "%a@." (Classify.pp ~names:(Graph.name g)) cls;
+    0
+  in
+  let seed_req = Arg.(required & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.") in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Show a Section-4 random loop and its classification")
+    Term.(const run $ seed_req)
+
+let main_cmd =
+  let doc = "pattern-based scheduling of non-vectorizable loops for MIMD machines" in
+  let info = Cmd.info "mimdloop" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      list_cmd;
+      classify_cmd;
+      schedule_cmd;
+      doacross_cmd;
+      codegen_cmd;
+      simulate_cmd;
+      figures_cmd;
+      table1_cmd;
+      random_cmd;
+      bounds_cmd;
+      stats_cmd;
+      extensions_cmd;
+      gantt_cmd;
+      procs_cmd;
+      export_cmd;
+      converge_cmd;
+      verify_cmd;
+      report_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

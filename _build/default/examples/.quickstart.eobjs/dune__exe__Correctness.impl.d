@@ -1,0 +1,1 @@
+examples/correctness.ml: Format List Mimd_codegen Mimd_core Mimd_doacross Mimd_loop_ir Mimd_machine Mimd_sim Mimd_workloads Printf

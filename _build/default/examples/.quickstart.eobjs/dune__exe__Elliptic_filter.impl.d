@@ -1,0 +1,1 @@
+examples/elliptic_filter.ml: Format List Mimd_core Mimd_ddg Mimd_doacross Mimd_machine Mimd_util Mimd_workloads Printf

@@ -1,0 +1,1 @@
+examples/elliptic_filter.mli:

@@ -1,0 +1,1 @@
+examples/livermore_suite.ml: Format List Mimd_core Mimd_ddg Mimd_experiments Mimd_machine Mimd_util Mimd_workloads Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mimd_codegen Mimd_core Mimd_ddg Mimd_doacross Mimd_loop_ir Mimd_machine Mimd_sim

@@ -1,0 +1,1 @@
+examples/robustness.ml: Format List Mimd_experiments Mimd_machine Mimd_sim Mimd_util Mimd_workloads Printf

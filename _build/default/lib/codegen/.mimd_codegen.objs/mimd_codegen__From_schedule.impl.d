@@ -1,0 +1,1 @@
+lib/codegen/from_schedule.ml: Array Hashtbl List Mimd_core Mimd_ddg Mimd_machine Program

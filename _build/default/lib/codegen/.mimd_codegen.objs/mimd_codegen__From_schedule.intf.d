@@ -1,0 +1,1 @@
+lib/codegen/from_schedule.mli: Mimd_core Program

@@ -1,0 +1,1 @@
+lib/codegen/program.ml: Array Format Hashtbl List Mimd_ddg

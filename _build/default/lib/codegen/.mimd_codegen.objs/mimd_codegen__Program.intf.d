@@ -1,0 +1,1 @@
+lib/codegen/program.mli: Format Mimd_ddg

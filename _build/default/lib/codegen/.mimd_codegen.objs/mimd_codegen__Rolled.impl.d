@@ -1,0 +1,1 @@
+lib/codegen/rolled.ml: Array Buffer From_schedule List Mimd_core Mimd_ddg Printf Program

@@ -1,0 +1,1 @@
+lib/codegen/rolled.mli: Mimd_core

@@ -1,0 +1,63 @@
+module Graph = Mimd_ddg.Graph
+module Schedule = Mimd_core.Schedule
+
+let run sched =
+  let graph = Schedule.graph sched in
+  let machine = Schedule.machine sched in
+  let processors = machine.Mimd_machine.Config.processors in
+  let have : (int, (int * int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let have_on proc =
+    match Hashtbl.find_opt have proc with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.replace have proc tbl;
+      tbl
+  in
+  let sent : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let programs = Array.make processors [] in
+  let emit proc instr = programs.(proc) <- instr :: programs.(proc) in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let v = e.inst.node and i = e.inst.iter in
+      let local = have_on e.proc in
+      (* Receives for off-processor operands, in the consistent order. *)
+      let wanted =
+        List.filter_map
+          (fun (edge : Graph.edge) ->
+            let pi = i - edge.distance in
+            if pi < 0 then None
+            else
+              match Schedule.find sched { node = edge.src; iter = pi } with
+              | Some pe when pe.proc <> e.proc -> Some (pi, edge.src, pe.proc)
+              | Some _ | None -> None)
+          (Graph.preds graph v)
+      in
+      List.iter
+        (fun (pi, src_node, src_proc) ->
+          if not (Hashtbl.mem local (src_node, pi)) then begin
+            Hashtbl.replace local (src_node, pi) ();
+            emit e.proc (Program.Recv { tag = { node = src_node; iter = pi }; src = src_proc })
+          end)
+        (List.sort_uniq compare wanted);
+      emit e.proc (Program.Compute { node = v; iter = i });
+      Hashtbl.replace local (v, i) ();
+      (* Sends to every distinct off-processor consumer. *)
+      let consumers =
+        List.filter_map
+          (fun (edge : Graph.edge) ->
+            let ci = i + edge.distance in
+            match Schedule.find sched { node = edge.dst; iter = ci } with
+            | Some ce when ce.proc <> e.proc -> Some ce.proc
+            | Some _ | None -> None)
+          (Graph.succs graph v)
+      in
+      List.iter
+        (fun dst ->
+          if not (Hashtbl.mem sent (v, i, dst)) then begin
+            Hashtbl.replace sent (v, i, dst) ();
+            emit e.proc (Program.Send { tag = { node = v; iter = i }; dst })
+          end)
+        (List.sort_uniq compare consumers))
+    (Schedule.entries sched);
+  { Program.graph; processors; programs = Array.map List.rev programs }

@@ -1,0 +1,15 @@
+(** Rolled, human-readable form of the transformed loop
+    (paper Figures 7(e) and 10).
+
+    The straight-line programs of {!From_schedule} are exact but
+    unbounded; this module presents the same code re-rolled around the
+    detected pattern: a concrete start-up section per processor, then a
+    loop body in which iteration indices are symbolic ([i], [i+1], ...)
+    and advance by the pattern's iteration shift per trip.
+
+    The body is lifted from the third repetition of the pattern, by
+    which point the message traffic has its steady shape (the first
+    repetitions may still talk to prologue instances). *)
+
+val render : Mimd_core.Pattern.t -> string
+(** Pseudo-code in the paper's PARBEGIN/PAREND style. *)

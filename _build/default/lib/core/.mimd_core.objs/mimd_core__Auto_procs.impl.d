@@ -1,0 +1,1 @@
+lib/core/auto_procs.ml: Cyclic_sched Float List Mimd_ddg Mimd_machine Mimd_util Pattern Printf

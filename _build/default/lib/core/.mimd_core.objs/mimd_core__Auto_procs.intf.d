@@ -1,0 +1,1 @@
+lib/core/auto_procs.mli: Mimd_ddg

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Format List Mimd_ddg Queue String

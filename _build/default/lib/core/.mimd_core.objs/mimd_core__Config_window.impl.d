@@ -1,0 +1,1 @@
+lib/core/config_window.ml: List Mimd_ddg Schedule

@@ -1,0 +1,1 @@
+lib/core/config_window.mli: Mimd_ddg Schedule

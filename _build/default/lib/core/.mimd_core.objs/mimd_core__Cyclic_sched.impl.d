@@ -1,0 +1,1 @@
+lib/core/cyclic_sched.ml: Array Config_window Hashtbl Int List Map Mimd_ddg Mimd_machine Pattern Printf Schedule Seq Set

@@ -1,0 +1,1 @@
+lib/core/cyclic_sched.mli: Mimd_ddg Mimd_machine Pattern Schedule

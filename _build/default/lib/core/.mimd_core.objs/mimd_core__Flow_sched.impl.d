@@ -1,0 +1,1 @@
+lib/core/flow_sched.ml: Array Hashtbl List Mimd_ddg Mimd_machine Schedule

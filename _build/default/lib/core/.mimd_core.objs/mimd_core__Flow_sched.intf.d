@@ -1,0 +1,1 @@
+lib/core/flow_sched.mli: Mimd_ddg Mimd_machine Schedule

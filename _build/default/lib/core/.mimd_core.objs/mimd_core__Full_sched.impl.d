@@ -1,0 +1,1 @@
+lib/core/full_sched.ml: Array Buffer Classify Cyclic_sched Flow_sched Hashtbl List Mimd_ddg Mimd_machine Pattern Printf Schedule

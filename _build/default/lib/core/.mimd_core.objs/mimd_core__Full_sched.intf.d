@@ -1,0 +1,1 @@
+lib/core/full_sched.mli: Classify Mimd_ddg Mimd_machine Pattern Schedule

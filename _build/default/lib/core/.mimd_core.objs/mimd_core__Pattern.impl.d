@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Format List Mimd_ddg Mimd_machine Schedule

@@ -1,0 +1,1 @@
+lib/core/pattern.mli: Format Mimd_ddg Mimd_machine Schedule

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Buffer Format List Map Mimd_ddg Mimd_machine Printf String

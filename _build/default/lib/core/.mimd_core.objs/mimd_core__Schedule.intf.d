@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Format Mimd_ddg Mimd_machine

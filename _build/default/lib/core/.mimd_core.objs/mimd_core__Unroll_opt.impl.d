@@ -1,0 +1,1 @@
+lib/core/unroll_opt.ml: Cyclic_sched Float List Mimd_ddg Mimd_util Pattern Printf

@@ -1,0 +1,1 @@
+lib/core/unroll_opt.mli: Mimd_ddg Mimd_machine Pattern

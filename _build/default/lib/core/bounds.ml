@@ -1,0 +1,26 @@
+module Graph = Mimd_ddg.Graph
+module Reach = Mimd_ddg.Reach
+
+type t = { recurrence : float; resource : float; span : int }
+
+let compute ~graph ~processors =
+  if processors < 1 then invalid_arg "Bounds.compute: processors < 1";
+  {
+    recurrence = Reach.recurrence_bound graph;
+    resource = float_of_int (Graph.total_latency graph) /. float_of_int processors;
+    span = Reach.critical_path_zero graph;
+  }
+
+let per_iteration t = Float.max t.recurrence t.resource
+
+let makespan_floor t ~iterations =
+  if iterations < 1 then invalid_arg "Bounds.makespan_floor: iterations < 1";
+  int_of_float (ceil (float_of_int (iterations - 1) *. per_iteration t)) + t.span
+
+let efficiency t ~iterations ~makespan =
+  if makespan <= 0 then invalid_arg "Bounds.efficiency: makespan <= 0";
+  float_of_int (makespan_floor t ~iterations) /. float_of_int makespan
+
+let pp ppf t =
+  Format.fprintf ppf "bounds: recurrence %.2f, resource %.2f, span %d (floor %.2f c/iter)"
+    t.recurrence t.resource t.span (per_iteration t)

@@ -1,0 +1,36 @@
+(** Lower bounds on parallel loop execution time.
+
+    Used to judge schedule quality in absolute terms (the paper only
+    compares against DOACROSS; these bounds say how far either is from
+    optimal):
+
+    - the {e recurrence bound}: no machine can complete iterations
+      faster than the worst dependence cycle allows
+      ({!Mimd_ddg.Reach.recurrence_bound});
+    - the {e resource bound}: [p] processors cannot retire more than
+      [p] cycles of work per cycle, so one iteration costs at least
+      [total latency / p];
+    - the {e span bound}: a single iteration cannot finish before its
+      critical intra-iteration path. *)
+
+type t = {
+  recurrence : float;  (** cycles/iteration from dependence cycles *)
+  resource : float;  (** cycles/iteration from processor count *)
+  span : int;  (** critical path of one iteration *)
+}
+
+val compute : graph:Mimd_ddg.Graph.t -> processors:int -> t
+
+val per_iteration : t -> float
+(** max(recurrence, resource): the steady-state floor. *)
+
+val makespan_floor : t -> iterations:int -> int
+(** Lower bound on any valid schedule's makespan:
+    [ceil ((iterations - 1) * per_iteration) + span].  Both our
+    scheduler's and the baselines' makespans must dominate this — the
+    property tests enforce it. *)
+
+val efficiency : t -> iterations:int -> makespan:int -> float
+(** [makespan_floor / makespan], in (0, 1]; 1 means provably optimal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Flow-in / Cyclic / Flow-out classification (paper Figure 2).
+
+    The three subsets partition the loop's nodes:
+    - a node is {b Flow-in} if it has no predecessors or all of its
+      predecessors are Flow-in;
+    - a node is {b Flow-out} if it is not Flow-in, and has no
+      successors or all of its successors are Flow-out;
+    - a node is {b Cyclic} otherwise.
+
+    Cyclic nodes determine the loop's asymptotic execution time
+    (Section 2.1); Flow-in nodes are only constrained by latest start
+    times and Flow-out nodes by earliest start times.  A loop with no
+    Cyclic nodes is a DOALL loop.
+
+    All edges count, whatever their distance: a distance-1 self-edge
+    makes its node Cyclic (paper Figure 1's singleton strongly
+    connected subgraph (L)).
+
+    Complexity: O(m) in the number of dependence links, as each edge is
+    visited at most once per direction. *)
+
+type membership = Flow_in | Cyclic | Flow_out
+
+type t = {
+  membership : membership array;  (** node id -> subset *)
+  flow_in : int list;  (** ascending ids *)
+  cyclic : int list;
+  flow_out : int list;
+}
+
+val run : Mimd_ddg.Graph.t -> t
+(** The worklist algorithm of Figure 2, literally: grow Flow-in from
+    predecessor-less nodes, then Flow-out backwards from successor-less
+    non-Flow-in nodes, then Cyclic is the remainder. *)
+
+val run_via_scc : Mimd_ddg.Graph.t -> t
+(** Equivalent characterisation used as a cross-check in the test
+    suite: a node is Flow-in iff no node of a nontrivial SCC reaches
+    it; Flow-out iff it is not Flow-in and reaches no node of a
+    nontrivial SCC; Cyclic otherwise. *)
+
+val is_doall : t -> bool
+(** True iff the Cyclic subset is empty. *)
+
+val cyclic_subgraph : Mimd_ddg.Graph.t -> t -> Mimd_ddg.Graph.t * int array * int array
+(** Restriction of the graph to its Cyclic nodes;
+    see {!Mimd_ddg.Graph.subgraph} for the returned mappings. *)
+
+val equal : t -> t -> bool
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

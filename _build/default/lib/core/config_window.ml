@@ -1,0 +1,32 @@
+module Graph = Mimd_ddg.Graph
+
+type cell = { proc : int; row : int; node : int; rel_iter : int; phase : int }
+type key = cell list
+type t = { key : key; anchor_iter : int; top : int }
+
+let extract ~graph ~entries_overlapping ~top ~height =
+  let bottom = top + height - 1 in
+  let entries = entries_overlapping ~top ~bottom in
+  let raw_cells = ref [] in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let lat = Graph.latency graph e.inst.node in
+      let first_row = max 0 (e.start - top) in
+      let last_row = min (height - 1) (e.start + lat - 1 - top) in
+      for row = first_row to last_row do
+        raw_cells :=
+          (e.proc, row, e.inst.node, e.inst.iter, top + row - e.start) :: !raw_cells
+      done)
+    entries;
+  match List.sort compare !raw_cells with
+  | [] -> None
+  | ((_, _, _, anchor_iter, _) :: _ as sorted) ->
+    let key =
+      List.map
+        (fun (proc, row, node, iter, phase) ->
+          { proc; row; node; rel_iter = iter - anchor_iter; phase })
+        sorted
+    in
+    Some { key; anchor_iter; top }
+
+let shift_between ~earlier ~later = later.anchor_iter - earlier.anchor_iter

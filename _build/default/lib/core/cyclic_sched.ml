@@ -1,0 +1,399 @@
+module Graph = Mimd_ddg.Graph
+module Topo = Mimd_ddg.Topo
+module Config = Mimd_machine.Config
+
+exception No_pattern of string
+
+type stats = {
+  pops : int;
+  iterations_touched : int;
+  configurations_checked : int;
+  detection_cycle : int;
+  candidates_rejected : int;
+}
+
+type result = { pattern : Pattern.t; stats : stats }
+
+module Imap = Map.Make (Int)
+
+module Ready = Set.Make (struct
+  type t = int * int * int (* iter, priority, node *)
+
+  let compare = compare
+end)
+
+type order = Lexicographic | Critical_path
+
+module Frontier = Set.Make (struct
+  type t = int * int * int (* rb, iter, node *)
+
+  let compare = compare
+end)
+
+(* Per-processor timeline: start cycle -> entry.  Busy intervals are
+   disjoint by construction, so the binding with the largest start <=
+   some cycle is the only one that can cover it. *)
+type timeline = Schedule.entry Imap.t
+
+let interval_finish g (e : Schedule.entry) = e.start + Graph.latency g e.inst.node
+
+let first_fit g (tl : timeline) ~ready ~len =
+  let cursor = ref ready in
+  (match Imap.find_last_opt (fun s -> s <= ready) tl with
+  | Some (_, e) ->
+    let f = interval_finish g e in
+    if f > !cursor then cursor := f
+  | None -> ());
+  let seq = Imap.to_seq_from (ready + 1) tl in
+  let rec walk seq =
+    match Seq.uncons seq with
+    | None -> !cursor
+    | Some ((s, e), rest) ->
+      if !cursor + len <= s then !cursor
+      else begin
+        let f = interval_finish g e in
+        if f > !cursor then cursor := f;
+        walk rest
+      end
+  in
+  walk seq
+
+(* Entries whose execution interval intersects [top, bottom] on one
+   processor: walk backward from the last start <= bottom while starts
+   can still reach the window. *)
+let overlapping g (tl : timeline) ~max_latency ~top ~bottom =
+  let out = ref [] in
+  let rec back s =
+    match Imap.find_last_opt (fun s' -> s' <= s) tl with
+    | None -> ()
+    | Some (s', e) ->
+      if s' + max_latency > top then begin
+        if interval_finish g e > top then out := e :: !out;
+        back (s' - 1)
+      end
+  in
+  back bottom;
+  !out
+
+type state = {
+  graph : Graph.t;
+  machine : Config.t;
+  trip : int option; (* Some n: schedule iterations < n only *)
+  mutable timelines : timeline array;
+  scheduled : (int * int, Schedule.entry) Hashtbl.t; (* (node, iter) *)
+  counts : (int * int, int) Hashtbl.t;
+  mutable ready : Ready.t;
+  mutable frontier : Frontier.t;
+  rb_of : (int * int, int) Hashtbl.t;
+  mutable pops : int;
+  mutable max_iter : int;
+  max_latency : int;
+  n_dist0_preds : int array;
+  n_all_preds : int array;
+  priority : int array;
+}
+
+let check_preconditions g =
+  if Graph.max_distance g > 1 then
+    invalid_arg "Cyclic_sched: dependence distances must be 0 or 1 (run Unwind.normalize)";
+  if not (Topo.is_zero_acyclic g) then
+    invalid_arg "Cyclic_sched: the distance-0 subgraph must be acyclic"
+
+(* Static pop priority inside one iteration.  Lexicographic is the
+   paper's "any consistent ordering"; Critical_path favours nodes with
+   the longest latency-weighted distance-0 chain still ahead of them,
+   the classic list-scheduling priority. *)
+let priorities graph = function
+  | Lexicographic -> Array.make (Graph.node_count graph) 0
+  | Critical_path ->
+    let order = Topo.sort_zero graph in
+    let height = Array.make (Graph.node_count graph) 0 in
+    List.iter
+      (fun v ->
+        let tail =
+          List.fold_left
+            (fun acc (e : Graph.edge) ->
+              if e.distance = 0 then max acc height.(e.dst) else acc)
+            0 (Graph.succs graph v)
+        in
+        height.(v) <- Graph.latency graph v + tail)
+      (List.rev order);
+    Array.map (fun h -> -h) height
+
+let init_state ~graph ~machine ~trip ~order =
+  check_preconditions graph;
+  let n = Graph.node_count graph in
+  let n_dist0_preds = Array.make n 0 in
+  let n_all_preds = Array.make n 0 in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (e : Graph.edge) ->
+        n_all_preds.(v) <- n_all_preds.(v) + 1;
+        if e.distance = 0 then n_dist0_preds.(v) <- n_dist0_preds.(v) + 1)
+      (Graph.preds graph v)
+  done;
+  let max_latency = List.fold_left (fun acc (nd : Graph.node) -> max acc nd.latency) 1 (Graph.nodes graph) in
+  let st =
+    {
+      graph;
+      machine;
+      trip;
+      timelines = Array.make machine.Config.processors Imap.empty;
+      scheduled = Hashtbl.create 1024;
+      counts = Hashtbl.create 1024;
+      ready = Ready.empty;
+      frontier = Frontier.empty;
+      rb_of = Hashtbl.create 1024;
+      pops = 0;
+      max_iter = 0;
+      max_latency;
+      n_dist0_preds;
+      n_all_preds;
+      priority = priorities graph order;
+    }
+  in
+  for v = 0 to n - 1 do
+    if n_dist0_preds.(v) = 0 then begin
+      st.ready <- Ready.add (0, st.priority.(v), v) st.ready;
+      st.frontier <- Frontier.add (0, 0, v) st.frontier;
+      Hashtbl.replace st.rb_of (v, 0) 0
+    end
+  done;
+  st
+
+(* Admission counting.  An instance (v, i) enters the ready set once
+   every in-window predecessor instance is scheduled.  With distances
+   in {0, 1} this keeps at most two instances of a node queued at a
+   time, so materialisation stays finite — except for nodes with no
+   predecessors at all, whose next instance is admitted explicitly when
+   the previous one is popped (such nodes never occur in a Cyclic
+   subset; [solve] rejects them, [schedule_iterations] handles them). *)
+let initial_count st (v, i) =
+  if i = 0 then st.n_dist0_preds.(v) else st.n_all_preds.(v)
+
+let ready_bound st (v, i) =
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      let pi = i - e.distance in
+      if pi < 0 then acc
+      else
+        match Hashtbl.find_opt st.scheduled (e.src, pi) with
+        | Some pe -> max acc (interval_finish st.graph pe)
+        | None -> acc (* unreachable: admission guarantees presence *))
+    0
+    (Graph.preds st.graph v)
+
+let admit st (v, i) =
+  let rb = ready_bound st (v, i) in
+  Hashtbl.replace st.rb_of (v, i) rb;
+  st.ready <- Ready.add (i, st.priority.(v), v) st.ready;
+  st.frontier <- Frontier.add (rb, i, v) st.frontier
+
+let decrement st (v, i) =
+  let in_trip = match st.trip with None -> true | Some n -> i < n in
+  if in_trip then begin
+    let c =
+      match Hashtbl.find_opt st.counts (v, i) with
+      | Some c -> c - 1
+      | None -> initial_count st (v, i) - 1
+    in
+    Hashtbl.replace st.counts (v, i) c;
+    if c = 0 then admit st (v, i)
+  end
+
+let schedule_one st (i, prio, v) =
+  st.ready <- Ready.remove (i, prio, v) st.ready;
+  let rb = try Hashtbl.find st.rb_of (v, i) with Not_found -> 0 in
+  st.frontier <- Frontier.remove (rb, i, v) st.frontier;
+  Hashtbl.remove st.rb_of (v, i);
+  let len = Graph.latency st.graph v in
+  let p = st.machine.Config.processors in
+  (* Data-ready time on each processor, then first-fit. *)
+  let best = ref None in
+  for j = 0 to p - 1 do
+    let ready_j =
+      List.fold_left
+        (fun acc (e : Graph.edge) ->
+          let pi = i - e.distance in
+          if pi < 0 then acc
+          else
+            match Hashtbl.find_opt st.scheduled (e.src, pi) with
+            | Some pe ->
+              let comm = if pe.proc = j then 0 else Config.edge_cost st.machine e in
+              max acc (interval_finish st.graph pe + comm)
+            | None -> acc)
+        0
+        (Graph.preds st.graph v)
+    in
+    let t = first_fit st.graph st.timelines.(j) ~ready:ready_j ~len in
+    match !best with
+    | Some (t0, _) when t0 <= t -> ()
+    | _ -> best := Some (t, j)
+  done;
+  let t, j = match !best with Some b -> b | None -> assert false in
+  let entry = Schedule.{ inst = { node = v; iter = i }; proc = j; start = t } in
+  Hashtbl.replace st.scheduled (v, i) entry;
+  st.timelines.(j) <- Imap.add t entry st.timelines.(j);
+  st.pops <- st.pops + 1;
+  if i + 1 > st.max_iter then st.max_iter <- i + 1;
+  (* Release successors; keep predecessor-less nodes flowing. *)
+  List.iter (fun (e : Graph.edge) -> decrement st (e.dst, i + e.distance)) (Graph.succs st.graph v);
+  if st.n_all_preds.(v) = 0 then begin
+    let in_trip = match st.trip with None -> true | Some n -> i + 1 < n in
+    if in_trip then admit st (v, i + 1)
+  end;
+  entry
+
+(* Cycles strictly below the least ready-bound of any queued instance
+   are final: every queued or future instance starts at or after that
+   bound, so first-fit can no longer reach below it. *)
+let final_frontier st =
+  match Frontier.min_elt_opt st.frontier with
+  | None -> max_int
+  | Some (rb, _, _) -> rb
+
+let all_entries st =
+  Hashtbl.fold (fun _ e acc -> e :: acc) st.scheduled []
+
+let entries_overlapping st ~top ~bottom =
+  let out = ref [] in
+  Array.iter
+    (fun tl ->
+      out := overlapping st.graph tl ~max_latency:st.max_latency ~top ~bottom @ !out)
+    st.timelines;
+  !out
+
+let entries_in_start_range st ~lo ~hi =
+  List.filter (fun (e : Schedule.entry) -> e.start >= lo && e.start < hi) (all_entries st)
+
+let sort_entries l =
+  List.sort
+    (fun (a : Schedule.entry) (b : Schedule.entry) ->
+      compare (a.start, a.proc, a.inst.iter, a.inst.node) (b.start, b.proc, b.inst.iter, b.inst.node))
+    l
+
+(* Does the slice starting at t2 equal the body slice [t1, t2) shifted
+   by (height, d)?  Both slices must be final when called. *)
+let period_repeats st ~t1 ~t2 ~d =
+  let height = t2 - t1 in
+  let body = sort_entries (entries_in_start_range st ~lo:t1 ~hi:t2) in
+  let next = sort_entries (entries_in_start_range st ~lo:t2 ~hi:(t2 + height)) in
+  let shifted =
+    List.map
+      (fun (e : Schedule.entry) ->
+        Schedule.
+          {
+            inst = { node = e.inst.node; iter = e.inst.iter + d };
+            proc = e.proc;
+            start = e.start + height;
+          })
+      body
+  in
+  shifted = next
+
+let solve ?(max_iterations = 1024) ?(verify = true) ?(order = Lexicographic) ~graph ~machine () =
+  for v = 0 to Graph.node_count graph - 1 do
+    if Graph.preds graph v = [] then
+      invalid_arg
+        (Printf.sprintf
+           "Cyclic_sched.solve: node %s has no predecessors, so this is not a Cyclic \
+            subset; schedule it with Flow_sched"
+           (Graph.name graph v))
+  done;
+  let st = init_state ~graph ~machine ~trip:None ~order in
+  let window_height = machine.Config.comm_estimate + st.max_latency in
+  let window_height = max 1 window_height in
+  let seen : (Config_window.key, Config_window.t) Hashtbl.t = Hashtbl.create 256 in
+  let next_top = ref 0 in
+  let checked = ref 0 in
+  let rejected = ref 0 in
+  let max_pops = max_iterations * Graph.node_count graph in
+  let give_up () =
+    raise
+      (No_pattern
+         (Printf.sprintf "no pattern within %d iterations (%d instances scheduled)"
+            max_iterations st.pops))
+  in
+  (* Pump the scheduler until [target] cycles are final. *)
+  let advance_until_final target =
+    while final_frontier st < target do
+      if st.pops >= max_pops then give_up ();
+      match Ready.min_elt_opt st.ready with
+      | None -> give_up () (* infinite unrolling never drains the queue *)
+      | Some key -> ignore (schedule_one st key)
+    done
+  in
+  let build_pattern ~t1 ~t2 ~d =
+    let body = sort_entries (entries_in_start_range st ~lo:t1 ~hi:t2) in
+    let prologue = sort_entries (entries_in_start_range st ~lo:0 ~hi:t1) in
+    Pattern.
+      { graph; machine; prologue; body; window_start = t1; height = t2 - t1; iter_shift = d }
+  in
+  let rec search () =
+    if st.pops >= max_pops then give_up ();
+    advance_until_final (!next_top + window_height);
+    let top = !next_top in
+    incr next_top;
+    incr checked;
+    match
+      Config_window.extract ~graph ~entries_overlapping:(entries_overlapping st) ~top
+        ~height:window_height
+    with
+    | None -> search ()
+    | Some cfg -> begin
+      match Hashtbl.find_opt seen cfg.key with
+      | None ->
+        Hashtbl.replace seen cfg.key cfg;
+        search ()
+      | Some earlier ->
+        let d = Config_window.shift_between ~earlier ~later:cfg in
+        if d < 1 then begin
+          (* Cannot happen for equal keys (see Config_window), but be
+             defensive: refresh the anchor and move on. *)
+          Hashtbl.replace seen cfg.key cfg;
+          search ()
+        end
+        else begin
+          let t1 = earlier.top and t2 = cfg.top in
+          let ok =
+            if not verify then true
+            else begin
+              advance_until_final (t2 + (t2 - t1) + window_height);
+              period_repeats st ~t1 ~t2 ~d
+            end
+          in
+          if ok then begin
+            let pattern = build_pattern ~t1 ~t2 ~d in
+            let stats =
+              {
+                pops = st.pops;
+                iterations_touched = st.max_iter;
+                configurations_checked = !checked;
+                detection_cycle = t2;
+                candidates_rejected = !rejected;
+              }
+            in
+            { pattern; stats }
+          end
+          else begin
+            incr rejected;
+            Hashtbl.replace seen cfg.key cfg;
+            search ()
+          end
+        end
+    end
+  in
+  search ()
+
+let schedule_iterations ?(order = Lexicographic) ~graph ~machine ~iterations () =
+  if iterations <= 0 then invalid_arg "Cyclic_sched.schedule_iterations: iterations <= 0";
+  let st = init_state ~graph ~machine ~trip:(Some iterations) ~order in
+  let rec drain () =
+    match Ready.min_elt_opt st.ready with
+    | None -> ()
+    | Some key ->
+      ignore (schedule_one st key);
+      drain ()
+  in
+  drain ();
+  Schedule.make ~graph ~machine (all_entries st)

@@ -1,0 +1,57 @@
+(** Scheduling of the non-Cyclic subsets (paper Figure 5 and the
+    Section-3 folding heuristic).
+
+    Flow-in nodes only carry a latest-start constraint, Flow-out nodes
+    only an earliest-start constraint, so neither affects the loop's
+    asymptotic rate.  Algorithm Flow-in-sched interleaves them:
+    iteration [i]'s Flow-in nodes run, in dependence order, on the
+    [(i mod p)]-th of [p = ceil (L / H)] dedicated processors — [L]
+    being the subset's total latency per iteration and [H] the pattern
+    height per iteration — which is exactly the processor count that
+    keeps the Flow-in pipeline at least as fast as the Cyclic core.
+    Flow-out-sched is the mirror image. *)
+
+val processors_needed : subset_latency:int -> height:int -> iter_shift:int -> int
+(** [ceil (subset_latency * iter_shift / height)], at least 1 when the
+    subset is non-empty, 0 otherwise.  [height]/[iter_shift] come from
+    the Cyclic pattern. *)
+
+val flow_in_entries :
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  flow_in:int list ->
+  procs:int ->
+  base_proc:int ->
+  iterations:int ->
+  Schedule.entry list
+(** ASAP placement: iteration [i] on processor [base_proc + (i mod
+    procs)], nodes in the consistent dependence order, each starting at
+    the processor's next free cycle or after its (necessarily Flow-in)
+    predecessors' data arrives, whichever is later.  The entries are
+    self-consistent; the caller shifts the Cyclic core to satisfy
+    Flow-in -> Cyclic edges (see {!Full_sched}). *)
+
+val flow_out_entries :
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  flow_out:int list ->
+  procs:int ->
+  base_proc:int ->
+  iterations:int ->
+  producer:(Schedule.instance -> Schedule.entry option) ->
+  Schedule.entry list
+(** Mirror image for Flow-out: each instance waits for its producers —
+    found through [producer], covering Cyclic and Flow-out entries
+    already placed — plus communication, then runs on its iteration's
+    processor. *)
+
+val required_shift :
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  flow_entry:(Schedule.instance -> Schedule.entry option) ->
+  consumers:Schedule.entry list ->
+  int
+(** How many cycles the [consumers] (the expanded Cyclic core) must be
+    delayed so that every cross-subset dependence
+    Flow-in -> Cyclic is satisfied, communication included.  0 when
+    nothing needs to move. *)

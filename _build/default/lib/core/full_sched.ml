@@ -1,0 +1,176 @@
+module Graph = Mimd_ddg.Graph
+module Unwind = Mimd_ddg.Unwind
+module Config = Mimd_machine.Config
+
+type strategy = Separate | Folded | Auto
+
+type t = {
+  schedule : Schedule.t;
+  classification : Classify.t;
+  pattern : Pattern.t option;
+  cyclic_old_of_new : int array;
+  cyclic_processors : int;
+  flow_in_processors : int;
+  flow_out_processors : int;
+  startup_shift : int;
+  folded : bool;
+}
+
+let subset_latency g ids = List.fold_left (fun acc v -> acc + Graph.latency g v) 0 ids
+
+let shift_entries delta entries =
+  if delta = 0 then entries
+  else List.map (fun (e : Schedule.entry) -> { e with start = e.start + delta }) entries
+
+let lookup_in entries =
+  let tbl = Hashtbl.create (List.length entries * 2) in
+  List.iter (fun (e : Schedule.entry) -> Hashtbl.replace tbl (e.inst.node, e.inst.iter) e) entries;
+  fun (inst : Schedule.instance) -> Hashtbl.find_opt tbl (inst.node, inst.iter)
+
+let run_separate ~max_iterations ~graph:g ~machine ~iterations cls =
+  let cyc_g, old_of_new, _ = Classify.cyclic_subgraph g cls in
+  let result = Cyclic_sched.solve ~max_iterations ~graph:cyc_g ~machine () in
+  let pattern = result.Cyclic_sched.pattern in
+  let cyclic_entries_local = Schedule.entries (Pattern.expand pattern ~iterations) in
+  let cyclic_entries =
+    List.map
+      (fun (e : Schedule.entry) ->
+        Schedule.{ e with inst = { node = old_of_new.(e.inst.node); iter = e.inst.iter } })
+      cyclic_entries_local
+  in
+  let height = pattern.Pattern.height and iter_shift = pattern.Pattern.iter_shift in
+  let p_cyc = machine.Config.processors in
+  let p_in =
+    Flow_sched.processors_needed
+      ~subset_latency:(subset_latency g cls.Classify.flow_in)
+      ~height ~iter_shift
+  in
+  let flow_in =
+    Flow_sched.flow_in_entries ~graph:g ~machine ~flow_in:cls.Classify.flow_in ~procs:p_in
+      ~base_proc:p_cyc ~iterations
+  in
+  let flow_in_lookup = lookup_in flow_in in
+  let shift =
+    Flow_sched.required_shift ~graph:g ~machine ~flow_entry:flow_in_lookup
+      ~consumers:cyclic_entries
+  in
+  let cyclic_entries = shift_entries shift cyclic_entries in
+  let p_out =
+    Flow_sched.processors_needed
+      ~subset_latency:(subset_latency g cls.Classify.flow_out)
+      ~height ~iter_shift
+  in
+  let core_lookup = lookup_in (cyclic_entries @ flow_in) in
+  let flow_out =
+    Flow_sched.flow_out_entries ~graph:g ~machine ~flow_out:cls.Classify.flow_out
+      ~procs:p_out ~base_proc:(p_cyc + p_in) ~iterations ~producer:core_lookup
+  in
+  let total = p_cyc + p_in + p_out in
+  let full_machine = Config.make ~processors:total ~comm_estimate:machine.Config.comm_estimate in
+  let schedule =
+    Schedule.make ~graph:g ~machine:full_machine (cyclic_entries @ flow_in @ flow_out)
+  in
+  {
+    schedule;
+    classification = cls;
+    pattern = Some pattern;
+    cyclic_old_of_new = old_of_new;
+    cyclic_processors = p_cyc;
+    flow_in_processors = p_in;
+    flow_out_processors = p_out;
+    startup_shift = shift;
+    folded = false;
+  }
+
+let run_folded ~max_iterations ~graph:g ~machine ~iterations cls =
+  let cyc_g, old_of_new, _ = Classify.cyclic_subgraph g cls in
+  let pattern =
+    match Cyclic_sched.solve ~max_iterations ~graph:cyc_g ~machine () with
+    | r -> Some r.Cyclic_sched.pattern
+    | exception Cyclic_sched.No_pattern _ -> None
+  in
+  let schedule = Cyclic_sched.schedule_iterations ~graph:g ~machine ~iterations () in
+  {
+    schedule;
+    classification = cls;
+    pattern;
+    cyclic_old_of_new = old_of_new;
+    cyclic_processors = machine.Config.processors;
+    flow_in_processors = 0;
+    flow_out_processors = 0;
+    startup_shift = 0;
+    folded = true;
+  }
+
+let run_doall ~graph:g ~machine ~iterations cls =
+  let schedule = Cyclic_sched.schedule_iterations ~graph:g ~machine ~iterations () in
+  {
+    schedule;
+    classification = cls;
+    pattern = None;
+    cyclic_old_of_new = [||];
+    cyclic_processors = machine.Config.processors;
+    flow_in_processors = 0;
+    flow_out_processors = 0;
+    startup_shift = 0;
+    folded = false;
+  }
+
+let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ~graph ~machine
+    ~iterations () =
+  if iterations <= 0 then invalid_arg "Full_sched.run: iterations <= 0";
+  if fold_tolerance < 0.0 then invalid_arg "Full_sched.run: negative fold_tolerance";
+  let mapping = Unwind.normalize graph in
+  let g = mapping.Unwind.graph in
+  let copies = mapping.Unwind.copies in
+  let iterations = (iterations + copies - 1) / copies in
+  let cls = Classify.run g in
+  if Classify.is_doall cls then run_doall ~graph:g ~machine ~iterations cls
+  else begin
+    match strategy with
+    | Separate -> run_separate ~max_iterations ~graph:g ~machine ~iterations cls
+    | Folded -> run_folded ~max_iterations ~graph:g ~machine ~iterations cls
+    | Auto -> begin
+      (* A Cyclic core whose weakly-connected components advance at
+         different rates never settles into a joint pattern (the paper
+         schedules such components independently); fall back to the
+         folded greedy, which needs no pattern. *)
+      match run_separate ~max_iterations ~graph:g ~machine ~iterations cls with
+      | separate ->
+        let folded = run_folded ~max_iterations ~graph:g ~machine ~iterations cls in
+        let ms = Schedule.makespan separate.schedule in
+        let mf = Schedule.makespan folded.schedule in
+        if float_of_int mf <= float_of_int ms *. (1.0 +. fold_tolerance) then folded
+        else separate
+      | exception Cyclic_sched.No_pattern _ ->
+        run_folded ~max_iterations ~graph:g ~machine ~iterations cls
+    end
+  end
+
+let parallel_time t = Schedule.makespan t.schedule
+
+let total_processors t =
+  t.cyclic_processors + t.flow_in_processors + t.flow_out_processors
+
+let report t =
+  let buf = Buffer.create 256 in
+  let cls = t.classification in
+  Buffer.add_string buf
+    (Printf.sprintf "classification: %d flow-in, %d cyclic, %d flow-out\n"
+       (List.length cls.Classify.flow_in)
+       (List.length cls.Classify.cyclic)
+       (List.length cls.Classify.flow_out));
+  (match t.pattern with
+  | Some p ->
+    Buffer.add_string buf
+      (Printf.sprintf "pattern: height %d, %d iteration(s)/repetition -> %.2f cycles/iter\n"
+         p.Pattern.height p.Pattern.iter_shift (Pattern.rate p))
+  | None -> Buffer.add_string buf "pattern: none (DOALL loop or folded-only run)\n");
+  Buffer.add_string buf
+    (Printf.sprintf "processors: %d cyclic + %d flow-in + %d flow-out%s\n" t.cyclic_processors
+       t.flow_in_processors t.flow_out_processors
+       (if t.folded then " (non-cyclic folded into cyclic)" else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "startup shift: %d cycle(s); makespan: %d cycle(s) for %d iteration(s)\n"
+       t.startup_shift (parallel_time t) (Schedule.iterations t.schedule));
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+(** The complete scheduling pipeline (paper Figure 6).
+
+    1. classify the nodes ({!Classify});
+    2. schedule the Cyclic subset with {!Cyclic_sched} on the machine's
+       processors, obtaining the pattern;
+    3. schedule the Flow-in subset on [ceil (L / H)] additional
+       processors ({!Flow_sched}), delaying the Cyclic core just enough
+       for iteration-0 inputs to arrive;
+    4. schedule the Flow-out subset symmetrically on its own additional
+       processors.
+
+    The Section-3 heuristic is available as the [Folded] strategy: when
+    a Cyclic processor has enough idle slots, the non-Cyclic nodes are
+    folded into them instead of taking extra processors — formalised
+    here by running the same greedy policy over the {e whole} graph on
+    the Cyclic processor count, which fills exactly those idle slots.
+    [Auto] measures both and keeps the fold when it costs at most
+    [fold_tolerance] extra makespan (default 5%). *)
+
+type strategy = Separate | Folded | Auto
+
+type t = {
+  schedule : Schedule.t;
+      (** complete schedule of the whole graph over all processors
+          used, for the requested trip count *)
+  classification : Classify.t;
+  pattern : Pattern.t option;
+      (** steady-state pattern of the Cyclic core, in the {e Cyclic
+          subgraph's} node ids ([None] for DOALL loops, which have no
+          Cyclic core) *)
+  cyclic_old_of_new : int array;
+      (** Cyclic-subgraph node id -> original node id *)
+  cyclic_processors : int;
+  flow_in_processors : int;
+  flow_out_processors : int;
+  startup_shift : int;  (** cycles the Cyclic core was delayed to wait
+                            for Flow-in data *)
+  folded : bool;  (** the Section-3 heuristic was applied *)
+}
+
+val run :
+  ?strategy:strategy ->
+  ?fold_tolerance:float ->
+  ?max_iterations:int ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  iterations:int ->
+  unit ->
+  t
+(** Schedule [iterations] iterations of the loop.  [machine.processors]
+    is the Cyclic-core processor budget; Flow-in/Flow-out processors
+    come on top (strategy [Separate]).  Distances greater than one are
+    reduced with {!Mimd_ddg.Unwind.normalize} automatically; in that
+    case the returned structures talk about the {e unwound} loop, whose
+    iteration counts are scaled accordingly (and an extra partial
+    unwound iteration may be scheduled to cover the requested trip
+    count).
+    @raise Invalid_argument on non-positive [iterations].
+    @raise Cyclic_sched.No_pattern when the pattern search exceeds
+    [max_iterations]. *)
+
+val parallel_time : t -> int
+(** Makespan of the complete schedule. *)
+
+val total_processors : t -> int
+
+val report : t -> string
+(** Multi-line human-readable summary: classification sizes, pattern
+    rate, processors, makespan. *)

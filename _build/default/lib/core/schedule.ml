@@ -1,0 +1,163 @@
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+
+type instance = { node : int; iter : int }
+
+let compare_instance a b = compare (a.iter, a.node) (b.iter, b.node)
+
+type entry = { inst : instance; proc : int; start : int }
+
+module Imap = Map.Make (struct
+  type t = instance
+
+  let compare = compare_instance
+end)
+
+type t = {
+  graph : Graph.t;
+  machine : Config.t;
+  all : entry list; (* ascending (start, proc) *)
+  by_instance : entry Imap.t;
+  by_proc : entry list array; (* ascending start *)
+}
+
+let make ~graph ~machine entry_list =
+  let by_instance =
+    List.fold_left
+      (fun acc e ->
+        if e.start < 0 then invalid_arg "Schedule.make: negative start";
+        if e.proc < 0 || e.proc >= machine.Config.processors then
+          invalid_arg "Schedule.make: processor out of range";
+        if e.inst.node < 0 || e.inst.node >= Graph.node_count graph then
+          invalid_arg "Schedule.make: unknown node";
+        if Imap.mem e.inst acc then invalid_arg "Schedule.make: duplicate instance";
+        Imap.add e.inst e acc)
+      Imap.empty entry_list
+  in
+  let all = List.sort (fun a b -> compare (a.start, a.proc, a.inst.iter, a.inst.node) (b.start, b.proc, b.inst.iter, b.inst.node)) entry_list in
+  let by_proc = Array.make machine.Config.processors [] in
+  List.iter (fun e -> by_proc.(e.proc) <- e :: by_proc.(e.proc)) (List.rev all);
+  { graph; machine; all; by_instance; by_proc }
+
+let graph t = t.graph
+let machine t = t.machine
+let entries t = t.all
+let entries_on t p = t.by_proc.(p)
+let find t inst = Imap.find_opt inst t.by_instance
+let is_scheduled t inst = Imap.mem inst t.by_instance
+let finish t e = e.start + Graph.latency t.graph e.inst.node
+let makespan t = List.fold_left (fun acc e -> max acc (finish t e)) 0 t.all
+let instance_count t = List.length t.all
+
+let iterations t =
+  List.fold_left (fun acc e -> max acc (e.inst.iter + 1)) 0 t.all
+
+let busy_cycles_on t p =
+  List.fold_left (fun acc e -> acc + Graph.latency t.graph e.inst.node) 0 t.by_proc.(p)
+
+let utilization t =
+  let span = makespan t in
+  if span = 0 then 0.0
+  else begin
+    let busy = ref 0 in
+    for p = 0 to t.machine.Config.processors - 1 do
+      busy := !busy + busy_cycles_on t p
+    done;
+    float_of_int !busy /. float_of_int (t.machine.Config.processors * span)
+  end
+
+type violation =
+  | Overlap of entry * entry
+  | Dependence_violated of { pred : entry; succ : entry; required_start : int }
+  | Missing_predecessor of { succ : entry; pred_inst : instance }
+
+let violations_gen ~closed t =
+  let out = ref [] in
+  Array.iter
+    (fun proc_entries ->
+      let rec overlaps = function
+        | e1 :: (e2 :: _ as rest) ->
+          if finish t e1 > e2.start then out := Overlap (e1, e2) :: !out;
+          overlaps rest
+        | [ _ ] | [] -> ()
+      in
+      overlaps proc_entries)
+    t.by_proc;
+  List.iter
+    (fun succ_entry ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          let pred_inst = { node = e.src; iter = succ_entry.inst.iter - e.distance } in
+          if pred_inst.iter >= 0 then
+            match Imap.find_opt pred_inst t.by_instance with
+            | None ->
+              if closed then out := Missing_predecessor { succ = succ_entry; pred_inst } :: !out
+            | Some pred_entry ->
+              let comm =
+                if pred_entry.proc = succ_entry.proc then 0
+                else Config.edge_cost t.machine e
+              in
+              let required_start = finish t pred_entry + comm in
+              if succ_entry.start < required_start then
+                out :=
+                  Dependence_violated { pred = pred_entry; succ = succ_entry; required_start }
+                  :: !out)
+        (Graph.preds t.graph succ_entry.inst.node))
+    t.all;
+  List.rev !out
+
+let violations t = violations_gen ~closed:true t
+
+let pp_violation ~names ppf v =
+  let inst_str i = Printf.sprintf "%s_%d" (names i.node) i.iter in
+  match v with
+  | Overlap (e1, e2) ->
+    Format.fprintf ppf "overlap on PE%d: %s@%d and %s@%d" e1.proc (inst_str e1.inst)
+      e1.start (inst_str e2.inst) e2.start
+  | Dependence_violated { pred; succ; required_start } ->
+    Format.fprintf ppf "%s@%d starts before %s allows (needs >= %d)" (inst_str succ.inst)
+      succ.start (inst_str pred.inst) required_start
+  | Missing_predecessor { succ; pred_inst } ->
+    Format.fprintf ppf "%s scheduled but predecessor %s is not" (inst_str succ.inst)
+      (inst_str pred_inst)
+
+let validate ?(closed = true) t =
+  match violations_gen ~closed t with
+  | [] -> Ok ()
+  | v :: _ ->
+    let names i = Graph.name t.graph i in
+    Error (Format.asprintf "%a" (pp_violation ~names) v)
+
+let render_grid ?max_cycles t =
+  let span = makespan t in
+  let limit = match max_cycles with None -> span | Some m -> min m span in
+  let p = t.machine.Config.processors in
+  let cells = Array.make_matrix limit p "" in
+  List.iter
+    (fun e ->
+      let lat = Graph.latency t.graph e.inst.node in
+      let label = Printf.sprintf "%s%d" (Graph.name t.graph e.inst.node) e.inst.iter in
+      for c = e.start to min (e.start + lat - 1) (limit - 1) do
+        if c >= 0 && c < limit then cells.(c).(e.proc) <- (if c = e.start then label else "|")
+      done)
+    t.all;
+  let width = Array.fold_left (fun acc row -> Array.fold_left (fun a s -> max a (String.length s)) acc row) 4 cells in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%5s " "step");
+  for j = 0 to p - 1 do
+    Buffer.add_string buf (Printf.sprintf " %-*s" width (Printf.sprintf "PE%d" j))
+  done;
+  Buffer.add_char buf '\n';
+  for c = 0 to limit - 1 do
+    Buffer.add_string buf (Printf.sprintf "%5d " c);
+    for j = 0 to p - 1 do
+      Buffer.add_string buf (Printf.sprintf " %-*s" width cells.(c).(j))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  if limit < span then Buffer.add_string buf (Printf.sprintf "  ... (%d more cycles)\n" (span - limit));
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "schedule: %d instances on %d PEs, makespan %d@,%s" (instance_count t)
+    t.machine.Config.processors (makespan t) (render_grid t)

@@ -1,0 +1,1 @@
+lib/ddg/dot.ml: Buffer Graph List Printf String

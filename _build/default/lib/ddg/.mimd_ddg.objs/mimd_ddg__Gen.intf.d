@@ -1,0 +1,1 @@
+lib/ddg/gen.mli: Graph

@@ -1,0 +1,1 @@
+lib/ddg/graph.ml: Array Format Hashtbl List Printf

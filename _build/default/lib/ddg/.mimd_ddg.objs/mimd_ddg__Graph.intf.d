@@ -1,0 +1,1 @@
+lib/ddg/graph.mli: Format

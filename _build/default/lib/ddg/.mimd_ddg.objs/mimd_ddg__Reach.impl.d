@@ -1,0 +1,1 @@
+lib/ddg/reach.ml: Array Graph List Topo

@@ -1,0 +1,1 @@
+lib/ddg/reach.mli: Graph

@@ -1,0 +1,1 @@
+lib/ddg/topo.ml: Array Graph Int List Set

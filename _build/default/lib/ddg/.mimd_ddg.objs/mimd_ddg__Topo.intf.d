@@ -1,0 +1,1 @@
+lib/ddg/topo.mli: Graph

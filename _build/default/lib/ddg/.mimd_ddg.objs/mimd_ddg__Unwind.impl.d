@@ -1,0 +1,1 @@
+lib/ddg/unwind.ml: Array Graph List Printf

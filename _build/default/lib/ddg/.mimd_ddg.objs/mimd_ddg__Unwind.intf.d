@@ -1,0 +1,1 @@
+lib/ddg/unwind.mli: Graph

@@ -1,0 +1,37 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(highlight = fun _ -> None) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph ddg {\n  rankdir=TB;\n  node [shape=circle];\n";
+  List.iter
+    (fun (nd : Graph.node) ->
+      let fill =
+        match highlight nd.id with
+        | None -> ""
+        | Some colour -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" (escape colour)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nlat=%d\"%s];\n" nd.id (escape nd.name)
+           nd.latency fill))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      let attrs =
+        if e.distance = 0 then ""
+        else Printf.sprintf " [style=dashed, label=\"%d\"]" e.distance
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" e.src e.dst attrs))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_channel ?highlight oc g = output_string oc (to_string ?highlight g)

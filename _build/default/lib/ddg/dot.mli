@@ -1,0 +1,12 @@
+(** Graphviz DOT export, for eyeballing dependence graphs.
+
+    Distance-0 edges are drawn solid, loop-carried ones dashed and
+    labelled with their distance — mirroring the figures of the
+    paper. *)
+
+val to_string : ?highlight:(int -> string option) -> Graph.t -> string
+(** [to_string g] renders [g].  [highlight v] may return a fill colour
+    for node [v] (the CLI uses it to colour Flow-in / Cyclic /
+    Flow-out). *)
+
+val to_channel : ?highlight:(int -> string option) -> out_channel -> Graph.t -> unit

@@ -1,0 +1,63 @@
+let chain_of_cycles ~cycles ~cycle_length ?(latency = 1) () =
+  if cycles < 1 || cycle_length < 1 then invalid_arg "Gen.chain_of_cycles";
+  let b = Graph.builder () in
+  let node c j = Graph.add_node b ~latency (Printf.sprintf "c%dn%d" c j) in
+  let ids = Array.init cycles (fun c -> Array.init cycle_length (node c)) in
+  for c = 0 to cycles - 1 do
+    for j = 0 to cycle_length - 2 do
+      Graph.add_edge b ~src:ids.(c).(j) ~dst:ids.(c).(j + 1) ~distance:0
+    done;
+    Graph.add_edge b ~src:ids.(c).(cycle_length - 1) ~dst:ids.(c).(0) ~distance:1;
+    (* Connectivity chain between neighbouring recurrences. *)
+    if c > 0 then Graph.add_edge b ~src:ids.(c - 1).(0) ~dst:ids.(c).(0) ~distance:1
+  done;
+  Graph.build b
+
+let coupled_recurrences ~width ?(coupling = 1) ?(latency = 1) () =
+  if width < 1 || coupling < 0 then invalid_arg "Gen.coupled_recurrences";
+  let b = Graph.builder () in
+  let head = Array.init width (fun w -> Graph.add_node b ~latency (Printf.sprintf "h%d" w)) in
+  let tail = Array.init width (fun w -> Graph.add_node b ~latency (Printf.sprintf "t%d" w)) in
+  for w = 0 to width - 1 do
+    Graph.add_edge b ~src:head.(w) ~dst:tail.(w) ~distance:0;
+    Graph.add_edge b ~src:tail.(w) ~dst:head.(w) ~distance:1;
+    for c = 1 to coupling do
+      let target = (w + c) mod width in
+      if target <> w then Graph.add_edge b ~src:head.(w) ~dst:head.(target) ~distance:1
+    done;
+    (* Keep the graph connected even with coupling = 0. *)
+    if coupling = 0 && w > 0 then
+      Graph.add_edge b ~src:head.(w - 1) ~dst:head.(w) ~distance:1
+  done;
+  Graph.build b
+
+let wide_body ~width ~depth ?(latency = 1) () =
+  if width < 0 || depth < 1 then invalid_arg "Gen.wide_body";
+  let b = Graph.builder () in
+  let spine = Array.init depth (fun j -> Graph.add_node b ~latency (Printf.sprintf "s%d" j)) in
+  for j = 0 to depth - 2 do
+    Graph.add_edge b ~src:spine.(j) ~dst:spine.(j + 1) ~distance:0
+  done;
+  Graph.add_edge b ~src:spine.(depth - 1) ~dst:spine.(0) ~distance:1;
+  for w = 0 to width - 1 do
+    (* Each side chain consumes the spine head and feeds the spine tail
+       of the NEXT iteration, so it is Cyclic but off the critical
+       recurrence. *)
+    let x = Graph.add_node b ~latency (Printf.sprintf "w%da" w) in
+    let y = Graph.add_node b ~latency (Printf.sprintf "w%db" w) in
+    Graph.add_edge b ~src:spine.(0) ~dst:x ~distance:0;
+    Graph.add_edge b ~src:x ~dst:y ~distance:0;
+    Graph.add_edge b ~src:y ~dst:spine.(0) ~distance:1
+  done;
+  Graph.build b
+
+let stencil_1d ~points ?(latency = 1) () =
+  if points < 1 then invalid_arg "Gen.stencil_1d";
+  let b = Graph.builder () in
+  let ids = Array.init points (fun j -> Graph.add_node b ~latency (Printf.sprintf "p%d" j)) in
+  for j = 0 to points - 1 do
+    Graph.add_edge b ~src:ids.(j) ~dst:ids.(j) ~distance:1;
+    if j > 0 then Graph.add_edge b ~src:ids.(j - 1) ~dst:ids.(j) ~distance:1;
+    if j < points - 1 then Graph.add_edge b ~src:ids.(j + 1) ~dst:ids.(j) ~distance:1
+  done;
+  Graph.build b

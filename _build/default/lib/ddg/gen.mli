@@ -1,0 +1,37 @@
+(** Parametric synthetic graph families.
+
+    Structured counterparts to the paper's fully random loops: families
+    whose parallelism profile is known by construction, used by the
+    scaling experiments and as labelled inputs for property tests.
+
+    All families produce connected graphs with an acyclic distance-0
+    subgraph and every node on or between dependence cycles (so they
+    are valid inputs to {!Mimd_core.Cyclic_sched.solve}). *)
+
+val chain_of_cycles :
+  cycles:int -> cycle_length:int -> ?latency:int -> unit -> Graph.t
+(** [cycles] independent recurrences, each a ring of [cycle_length]
+    nodes (distance-1 back edge), chained by distance-1 edges so the
+    graph is connected but the recurrences can run concurrently.
+    Recurrence bound: [cycle_length * latency]; ideal parallelism:
+    [cycles] processors. *)
+
+val coupled_recurrences :
+  width:int -> ?coupling:int -> ?latency:int -> unit -> Graph.t
+(** [width] two-node recurrences where each recurrence's head also
+    feeds [coupling] (default 1) neighbouring recurrences at distance
+    1 — parallel chains with cross-talk, the structure where
+    communication-aware placement matters most. *)
+
+val wide_body :
+  width:int -> depth:int -> ?latency:int -> unit -> Graph.t
+(** One serialising recurrence spine of [depth] nodes plus [width]
+    independent distance-0 chains per iteration hanging off it —
+    lots of intra-iteration parallelism, the shape where DOACROSS
+    loses most (it serialises the whole body). *)
+
+val stencil_1d : points:int -> ?latency:int -> unit -> Graph.t
+(** A 1-D three-point stencil sweep: node [j] of iteration [i] reads
+    nodes [j-1], [j], [j+1] of iteration [i-1] — a wavefront where
+    every node is Cyclic and the recurrence bound is a single node's
+    latency. *)

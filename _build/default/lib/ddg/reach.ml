@@ -1,0 +1,106 @@
+let reachable_from g v =
+  let n = Graph.node_count g in
+  let seen = Array.make n false in
+  let stack = ref [ v ] in
+  seen.(v) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+      stack := rest;
+      List.iter
+        (fun (e : Graph.edge) ->
+          if not seen.(e.dst) then begin
+            seen.(e.dst) <- true;
+            stack := e.dst :: !stack
+          end)
+        (Graph.succs g x)
+  done;
+  seen
+
+let reaches g ~src ~dst = (reachable_from g src).(dst)
+
+let ancestors g v =
+  let n = Graph.node_count g in
+  let seen = Array.make n false in
+  let stack = ref [ v ] in
+  seen.(v) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+      stack := rest;
+      List.iter
+        (fun (e : Graph.edge) ->
+          if not seen.(e.src) then begin
+            seen.(e.src) <- true;
+            stack := e.src :: !stack
+          end)
+        (Graph.preds g x)
+  done;
+  seen
+
+let longest_path_dag g ~use_edge =
+  let order = Topo.kahn g ~use_edge in
+  let w = Array.make (Graph.node_count g) 0 in
+  List.iter (fun v -> w.(v) <- Graph.latency g v) order;
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          if use_edge e then w.(e.dst) <- max w.(e.dst) (w.(v) + Graph.latency g e.dst))
+        (Graph.succs g v))
+    order;
+  w
+
+let critical_path_zero g =
+  let w = longest_path_dag g ~use_edge:(fun e -> e.distance = 0) in
+  Array.fold_left max 0 w
+
+(* Positive-cycle detection for weights lat(src) - r * distance via
+   Bellman-Ford on negated weights. *)
+let has_cycle_faster_than g r =
+  let n = Graph.node_count g in
+  let dist = Array.make n 0.0 in
+  let edges = Graph.edges g in
+  let weight (e : Graph.edge) =
+    -.(float_of_int (Graph.latency g e.src) -. (r *. float_of_int e.distance))
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (e : Graph.edge) ->
+        let cand = dist.(e.src) +. weight e in
+        if cand < dist.(e.dst) -. 1e-9 then begin
+          dist.(e.dst) <- cand;
+          changed := true
+        end)
+      edges
+  done;
+  !changed
+
+let recurrence_bound g =
+  if not (Graph.has_loop_carried g) then begin
+    (* No loop-carried edge: a cycle would be a distance-0 cycle, which
+       well-formed bodies exclude; but if one exists the bound is
+       infinite.  Detect and report. *)
+    if Topo.is_zero_acyclic g then 0.0 else infinity
+  end
+  else begin
+    let hi0 = float_of_int (Graph.total_latency g) in
+    if not (has_cycle_faster_than g 0.0) then 0.0
+    else begin
+      let lo = ref 0.0 and hi = ref hi0 in
+      (* Invariant: some cycle has lat/dist > lo; no cycle has
+         lat/dist > hi (hi = total latency is a universal bound when
+         distances >= 1 on every cycle). *)
+      for _ = 1 to 50 do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if has_cycle_faster_than g mid then lo := mid else hi := mid
+      done;
+      !hi
+    end
+  end

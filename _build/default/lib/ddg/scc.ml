@@ -1,0 +1,90 @@
+type result = {
+  component : int array;
+  components : int list array;
+  nontrivial : bool array;
+}
+
+(* Iterative Tarjan to be safe on deep graphs (unwound loops can be
+   thousands of nodes long). *)
+let run g =
+  let n = Graph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let comps = ref [] in
+  let succ_ids v = List.map (fun (e : Graph.edge) -> e.dst) (Graph.succs g v) in
+  (* Explicit DFS stack: (v, remaining successors). *)
+  let rec start v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    walk [ (v, succ_ids v) ]
+  and walk frames =
+    match frames with
+    | [] -> ()
+    | (v, []) :: rest ->
+      (* finished v *)
+      if lowlink.(v) = index.(v) then begin
+        let rec pop acc =
+          match !stack with
+          | [] -> acc
+          | w :: tl ->
+            stack := tl;
+            on_stack.(w) <- false;
+            comp.(w) <- !next_comp;
+            if w = v then w :: acc else pop (w :: acc)
+        in
+        let members = pop [] in
+        comps := members :: !comps;
+        incr next_comp
+      end;
+      (match rest with
+      | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+      | [] -> ());
+      walk rest
+    | (v, w :: ws) :: rest ->
+      if index.(w) < 0 then begin
+        index.(w) <- !next_index;
+        lowlink.(w) <- !next_index;
+        incr next_index;
+        stack := w :: !stack;
+        on_stack.(w) <- true;
+        walk ((w, succ_ids w) :: (v, ws) :: rest)
+      end
+      else begin
+        if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w);
+        walk ((v, ws) :: rest)
+      end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then start v
+  done;
+  let components = Array.make !next_comp [] in
+  List.iter
+    (fun members ->
+      match members with
+      | [] -> ()
+      | v :: _ -> components.(comp.(v)) <- members)
+    !comps;
+  let nontrivial = Array.make !next_comp false in
+  Array.iteri
+    (fun c members -> if List.length members >= 2 then nontrivial.(c) <- true)
+    components;
+  List.iter
+    (fun (e : Graph.edge) -> if e.src = e.dst then nontrivial.(comp.(e.src)) <- true)
+    (Graph.edges g);
+  { component = comp; components; nontrivial }
+
+let condensation_topo_order r =
+  (* Tarjan numbers components in reverse topological order: an edge
+     u -> v between distinct components satisfies comp v < comp u. *)
+  let n = Array.length r.components in
+  List.init n (fun i -> n - 1 - i)
+
+let in_nontrivial r v = r.nontrivial.(r.component.(v))

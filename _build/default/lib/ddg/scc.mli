@@ -1,0 +1,30 @@
+(** Strongly connected components (Tarjan).
+
+    The classification proofs (Lemmas 1-2 of the paper) hinge on
+    strongly connected subgraphs of the Cyclic subset; the Dopipe
+    baseline also partitions the body by SCC.  A single node counts as
+    a {e nontrivial} component only if it carries a self-edge. *)
+
+type result = {
+  component : int array;  (** node id -> component id, reverse topological: if
+                              comp u < comp v then no path v -> u crosses
+                              components... components are numbered so that
+                              edges between distinct components go from higher
+                              to lower ids (Tarjan completion order). *)
+  components : int list array;  (** component id -> member node ids *)
+  nontrivial : bool array;  (** component id -> has >= 2 nodes or a self-edge *)
+}
+
+val run : Graph.t -> result
+(** Compute SCCs over {e all} edges (any distance): a distance-1
+    self-dependence forms a cycle through successive iterations and
+    must count, exactly as in the paper's Figure 1 where the singleton
+    (L) is listed as a strongly connected subgraph. *)
+
+val condensation_topo_order : result -> int list
+(** Component ids in topological order of the condensation (sources
+    first). *)
+
+val in_nontrivial : result -> int -> bool
+(** [in_nontrivial r v] is true iff node [v] lies on some dependence
+    cycle. *)

@@ -1,0 +1,37 @@
+(** Topological orderings of dependence graphs.
+
+    Intra-iteration (distance-0) dependences must form a DAG — a
+    distance-0 cycle would make the loop body unexecutable.  The
+    scheduler and the DOACROSS baseline both need topological orders of
+    that DAG; the pattern construction additionally needs a
+    {e consistent} tie-break (paper footnote 7), which we fix as
+    ascending node id. *)
+
+exception Cycle of int list
+(** Raised with the offending cycle (as node ids) when a requested
+    order does not exist. *)
+
+val kahn : Graph.t -> use_edge:(Graph.edge -> bool) -> int list
+(** Topological order of the subgraph selected by [use_edge], smallest
+    ready node id first.  @raise Cycle when that subgraph is cyclic. *)
+
+val sort_zero : Graph.t -> int list
+(** Topological order of the distance-0 subgraph, ties broken by
+    ascending node id (Kahn's algorithm with a sorted frontier).
+    @raise Cycle if the distance-0 subgraph is cyclic. *)
+
+val sort_all : Graph.t -> int list
+(** Topological order over {e all} edges regardless of distance.  Only
+    acyclic graphs (e.g. a single unwound segment, or a Flow-in
+    subset) admit one.  @raise Cycle otherwise. *)
+
+val is_zero_acyclic : Graph.t -> bool
+(** True iff the distance-0 subgraph is acyclic (a well-formed loop
+    body). *)
+
+val zero_levels : Graph.t -> int array
+(** ASAP level of each node in the distance-0 subgraph: level v = 0
+    for nodes with no distance-0 predecessor, else
+    max over distance-0 preds u of (level u + latency u).  This is each
+    node's earliest intra-iteration start time.
+    @raise Cycle if the distance-0 subgraph is cyclic. *)

@@ -1,0 +1,38 @@
+type mapping = {
+  graph : Graph.t;
+  copies : int;
+  orig_of_new : (int * int) array;
+  new_of_orig : int array array;
+}
+
+let unroll g ~times =
+  if times < 1 then invalid_arg "Unwind.unroll: times < 1";
+  let n = Graph.node_count g in
+  let b = Graph.builder () in
+  let new_of_orig = Array.make_matrix n times 0 in
+  let orig_of_new = Array.make (n * times) (0, 0) in
+  for c = 0 to times - 1 do
+    for v = 0 to n - 1 do
+      let nd = Graph.node g v in
+      let name = if times = 1 then nd.name else Printf.sprintf "%s.%d" nd.name c in
+      let id = Graph.add_node b ~latency:nd.latency ~kind:nd.kind name in
+      new_of_orig.(v).(c) <- id;
+      orig_of_new.(id) <- (v, c)
+    done
+  done;
+  List.iter
+    (fun (e : Graph.edge) ->
+      for c = 0 to times - 1 do
+        let target_copy = (c + e.distance) mod times in
+        let distance = (c + e.distance) / times in
+        Graph.add_edge b ?cost:e.cost ~src:new_of_orig.(e.src).(c)
+          ~dst:new_of_orig.(e.dst).(target_copy) ~distance
+      done)
+    (Graph.edges g);
+  { graph = Graph.build b; copies = times; orig_of_new; new_of_orig }
+
+let normalize g =
+  let d = Graph.max_distance g in
+  unroll g ~times:(max 1 d)
+
+let iterations_per_new_iteration m = m.copies

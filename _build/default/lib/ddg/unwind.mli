@@ -1,0 +1,36 @@
+(** Loop unwinding (unrolling) and dependence-distance reduction.
+
+    The scheduler assumes all dependence distances are 0 or 1
+    (Section 2.1).  Following [MuSi87], a loop whose largest distance
+    is [D] is unwound [D] times: the new body holds [D] copies of
+    every node, and an old edge of distance [d] becomes, for each copy
+    [c], an edge from copy [c] of the source to copy
+    [(c + d) mod D] of the destination with new distance
+    [(c + d) / D] — always 0 or 1.
+
+    [unroll] is the plain m-fold expansion (used by the tests to
+    cross-check schedules against the literally-unrolled graph). *)
+
+type mapping = {
+  graph : Graph.t;
+  copies : int;  (** how many copies of the original body *)
+  orig_of_new : (int * int) array;
+      (** new node id -> (original node id, copy index in [0, copies)) *)
+  new_of_orig : int array array;
+      (** [new_of_orig.(orig).(copy)] = new node id *)
+}
+
+val unroll : Graph.t -> times:int -> mapping
+(** [unroll g ~times] concatenates [times] copies of the body.  A new
+    iteration of the result stands for [times] old iterations: an old
+    edge of distance [d] from [u] to [v] yields, for each copy [c], an
+    edge copy[c](u) -> copy[(c+d) mod times](v) with distance
+    [(c+d) / times].  @raise Invalid_argument if [times < 1]. *)
+
+val normalize : Graph.t -> mapping
+(** Reduce all distances to 0 or 1: [unroll ~times:D] where [D] is the
+    graph's largest distance (identity mapping when [D <= 1]). *)
+
+val iterations_per_new_iteration : mapping -> int
+(** How many original iterations one iteration of [mapping.graph]
+    represents (= [copies]). *)

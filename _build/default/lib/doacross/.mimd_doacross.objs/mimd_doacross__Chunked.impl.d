@@ -1,0 +1,1 @@
+lib/doacross/chunked.ml: Array Doacross Format List Mimd_ddg Mimd_machine

@@ -1,0 +1,1 @@
+lib/doacross/chunked.mli: Doacross Format Mimd_ddg Mimd_machine

@@ -1,0 +1,1 @@
+lib/doacross/doacross.mli: Format Mimd_core Mimd_ddg Mimd_machine

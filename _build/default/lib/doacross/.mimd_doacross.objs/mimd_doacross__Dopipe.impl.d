@@ -1,0 +1,1 @@
+lib/doacross/dopipe.ml: Array Format List Mimd_core Mimd_ddg Mimd_machine String

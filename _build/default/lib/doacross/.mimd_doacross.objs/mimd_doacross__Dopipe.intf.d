@@ -1,0 +1,1 @@
+lib/doacross/dopipe.mli: Format Mimd_core Mimd_ddg Mimd_machine

@@ -1,0 +1,1 @@
+lib/doacross/reorder.ml: Array Doacross List Mimd_ddg

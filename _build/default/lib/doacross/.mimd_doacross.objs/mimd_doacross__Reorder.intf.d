@@ -1,0 +1,1 @@
+lib/doacross/reorder.mli: Doacross Mimd_ddg Mimd_machine

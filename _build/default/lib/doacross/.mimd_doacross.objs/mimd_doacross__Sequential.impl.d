@@ -1,0 +1,1 @@
+lib/doacross/sequential.ml: List Mimd_core Mimd_ddg Mimd_machine

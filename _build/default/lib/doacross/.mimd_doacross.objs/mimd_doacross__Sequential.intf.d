@@ -1,0 +1,1 @@
+lib/doacross/sequential.mli: Mimd_core Mimd_ddg

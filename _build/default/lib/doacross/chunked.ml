@@ -1,0 +1,90 @@
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+
+type t = {
+  base : Doacross.t;
+  chunk : int;
+  overhead : int;
+  block_delay : int;
+  messages_per_block : int;
+}
+
+let analyze ?order ?(overhead = 0) ~chunk ~graph ~machine () =
+  if chunk < 1 then invalid_arg "Chunked.analyze: chunk < 1";
+  if overhead < 0 then invalid_arg "Chunked.analyze: overhead < 0";
+  let base = Doacross.analyze ?order ~graph ~machine () in
+  let l = base.Doacross.body_length in
+  let sync e = if machine.Config.processors >= 2 then Config.edge_cost machine e else 0 in
+  (* An edge of distance delta from block position r reaches block
+     position r + delta - q*chunk of the q-th following block, where q
+     is delta/chunk rounded either way depending on r; each feasible q
+     contributes D >= ceil (((q*chunk - delta)*L + C) / q) with C the
+     usual offset term. *)
+  let ceil_div num den = if num <= 0 then 0 else (num + den - 1) / den in
+  let block_delay =
+    List.fold_left
+      (fun acc (e : Graph.edge) ->
+        if e.distance = 0 then acc
+        else begin
+          let c =
+            base.Doacross.offsets.(e.src)
+            + Graph.latency graph e.src + sync e
+            - base.Doacross.offsets.(e.dst)
+          in
+          let qs = List.sort_uniq compare [ e.distance / chunk; (e.distance + chunk - 1) / chunk ] in
+          List.fold_left
+            (fun acc q ->
+              if q < 1 then acc
+              else max acc (ceil_div (((q * chunk) - e.distance) * l + c) q))
+            acc qs
+        end)
+      0 (Graph.edges graph)
+  in
+  (* Each loop-carried value whose distance does not stay inside the
+     block arrives as a message and costs [overhead] processor time. *)
+  let messages_per_block =
+    if machine.Config.processors < 2 then 0
+    else
+      List.length
+        (List.filter (fun (e : Graph.edge) -> e.distance >= 1) (Graph.edges graph))
+  in
+  { base; chunk; overhead; block_delay; messages_per_block }
+
+let makespan t ~iterations =
+  if iterations <= 0 then invalid_arg "Chunked.makespan: iterations <= 0";
+  let l = t.base.Doacross.body_length in
+  let p = t.base.Doacross.machine.Config.processors in
+  let blocks = (iterations + t.chunk - 1) / t.chunk in
+  let starts = Array.make blocks 0 in
+  let recv_cost j = if j = 0 then 0 else t.overhead * t.messages_per_block in
+  let work j =
+    let remaining = iterations - (j * t.chunk) in
+    (min t.chunk remaining * l) + recv_cost j
+  in
+  for j = 1 to blocks - 1 do
+    let by_delay = starts.(j - 1) + t.block_delay in
+    let by_proc = if j >= p then starts.(j - p) + work (j - p) else 0 in
+    starts.(j) <- max by_delay by_proc
+  done;
+  starts.(blocks - 1) + work (blocks - 1)
+
+let effective_makespan t ~iterations =
+  min (makespan t ~iterations) (iterations * t.base.Doacross.body_length)
+
+let best_chunk ?(candidates = [ 1; 2; 4; 8; 16 ]) ?overhead ~graph ~machine ~iterations () =
+  match candidates with
+  | [] -> invalid_arg "Chunked.best_chunk: no candidates"
+  | c :: cs ->
+    let first = analyze ?overhead ~chunk:c ~graph ~machine () in
+    List.fold_left
+      (fun best c ->
+        let t = analyze ?overhead ~chunk:c ~graph ~machine () in
+        if effective_makespan t ~iterations < effective_makespan best ~iterations then t
+        else best)
+      first cs
+
+let pp ppf t =
+  Format.fprintf ppf
+    "chunked doacross: chunk %d, block delay %d, %d msg/block at overhead %d (body %d, delay %d)"
+    t.chunk t.block_delay t.messages_per_block t.overhead t.base.Doacross.body_length
+    t.base.Doacross.delay

@@ -1,0 +1,65 @@
+(** Chunked (blocked) DOACROSS — a standard variant of the baseline.
+
+    Instead of dealing single iterations round-robin, chunked DOACROSS
+    assigns blocks of [chunk] consecutive iterations to each processor.
+    Inside a block, loop-carried values stay local (no
+    synchronisation); only block boundaries pay communication.  Larger
+    chunks amortise synchronisation but lengthen the pipeline fill —
+    the classic trade-off, worth having as a second
+    iteration-pipelining point of comparison for the paper's claim
+    that {e intra}-iteration parallelism is what the baselines leave
+    on the table.
+
+    Analysis: a block costs [chunk * L] cycles of work (L = body
+    length) plus [overhead] processor cycles per message it receives
+    (the per-message cost that fully-overlapped communication does not
+    hide: interrupt/copy-in).  A loop-carried edge u -> v of distance
+    [delta] crossing [q] block boundaries lets the [q]-th following
+    block start its dependent instance only after the producing block
+    reaches it:
+
+    [q * D >= (q * chunk - delta) * L + s(u) + lat(u) + sync - s(v)]
+
+    With [overhead = 0] (the paper's model) chunking provably never
+    helps — the delay grows by a full [L] per extra iteration chunked,
+    so [chunk = 1] dominates and {!best_chunk} returns it; the variant
+    earns its keep once receives cost processor time. *)
+
+type t = {
+  base : Doacross.t;
+  chunk : int;
+  overhead : int;  (** processor cycles consumed per received message *)
+  block_delay : int;  (** minimum start distance between consecutive blocks *)
+  messages_per_block : int;  (** boundary-crossing loop-carried values *)
+}
+
+val analyze :
+  ?order:int list ->
+  ?overhead:int ->
+  chunk:int ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  unit ->
+  t
+(** [overhead] defaults to 0 (the paper's fully-overlapped model).
+    @raise Invalid_argument if [chunk < 1] or [overhead < 0]. *)
+
+val makespan : t -> iterations:int -> int
+(** Analytic makespan; the final partial block counts its actual
+    iterations. *)
+
+val effective_makespan : t -> iterations:int -> int
+(** [min makespan sequential], like {!Doacross.effective_makespan}. *)
+
+val best_chunk :
+  ?candidates:int list ->
+  ?overhead:int ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  iterations:int ->
+  unit ->
+  t
+(** The best of several chunk sizes (default 1, 2, 4, 8, 16) under
+    [makespan]. *)
+
+val pp : Format.formatter -> t -> unit

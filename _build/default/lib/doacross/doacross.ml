@@ -1,0 +1,125 @@
+module Graph = Mimd_ddg.Graph
+module Topo = Mimd_ddg.Topo
+module Config = Mimd_machine.Config
+module Schedule = Mimd_core.Schedule
+
+type t = {
+  graph : Graph.t;
+  machine : Config.t;
+  order : int list;
+  offsets : int array;
+  body_length : int;
+  delay : int;
+}
+
+let check_order g order =
+  let n = Graph.node_count g in
+  if List.length order <> n then invalid_arg "Doacross.analyze: order is not a permutation";
+  let position = Array.make n (-1) in
+  List.iteri
+    (fun pos v ->
+      if v < 0 || v >= n || position.(v) >= 0 then
+        invalid_arg "Doacross.analyze: order is not a permutation";
+      position.(v) <- pos)
+    order;
+  List.iter
+    (fun (e : Graph.edge) ->
+      if e.distance = 0 && position.(e.src) > position.(e.dst) then
+        invalid_arg "Doacross.analyze: order violates an intra-iteration dependence")
+    (Graph.edges g);
+  position
+
+let ceil_div a b = if a <= 0 then 0 else (a + b - 1) / b
+
+let analyze ?order ~graph ~machine () =
+  let order = match order with Some o -> o | None -> Topo.sort_zero graph in
+  ignore (check_order graph order);
+  let n = Graph.node_count graph in
+  let offsets = Array.make n 0 in
+  let cursor = ref 0 in
+  List.iter
+    (fun v ->
+      offsets.(v) <- !cursor;
+      cursor := !cursor + Graph.latency graph v)
+    order;
+  let body_length = !cursor in
+  (* Iterations land round-robin on the processors, so with p >= 2 the
+     producer and the consumer of a loop-carried value generally sit on
+     different processors and synchronisation costs the edge's
+     communication estimate. *)
+  let sync e = if machine.Config.processors >= 2 then Config.edge_cost machine e else 0 in
+  let delay =
+    List.fold_left
+      (fun acc (e : Graph.edge) ->
+        if e.distance = 0 then acc
+        else
+          let slack =
+            offsets.(e.src) + Graph.latency graph e.src + sync e - offsets.(e.dst)
+          in
+          max acc (ceil_div slack e.distance))
+      0 (Graph.edges graph)
+  in
+  { graph; machine; order; offsets; body_length; delay }
+
+let start_times t ~iterations =
+  if iterations <= 0 then invalid_arg "Doacross.start_times: iterations <= 0";
+  let p = t.machine.Config.processors in
+  let starts = Array.make iterations 0 in
+  for i = 1 to iterations - 1 do
+    let by_delay = starts.(i - 1) + t.delay in
+    let by_proc = if i >= p then starts.(i - p) + t.body_length else 0 in
+    starts.(i) <- max by_delay by_proc
+  done;
+  starts
+
+let makespan t ~iterations =
+  let starts = start_times t ~iterations in
+  starts.(iterations - 1) + t.body_length
+
+let schedule t ~iterations =
+  let starts = start_times t ~iterations in
+  let p = t.machine.Config.processors in
+  let entries = ref [] in
+  for i = 0 to iterations - 1 do
+    List.iter
+      (fun v ->
+        entries :=
+          Schedule.
+            { inst = { node = v; iter = i }; proc = i mod p; start = starts.(i) + t.offsets.(v) }
+          :: !entries)
+      t.order
+  done;
+  Schedule.make ~graph:t.graph ~machine:t.machine !entries
+
+let no_overlap t = t.delay >= t.body_length
+
+let sequential_time t ~iterations = iterations * t.body_length
+
+let effective_makespan t ~iterations =
+  min (makespan t ~iterations) (sequential_time t ~iterations)
+
+let effective_schedule t ~iterations =
+  (* Strict comparison: on a tie the sequential loop wins — it needs no
+     messages, so run-time communication fluctuation cannot hurt it. *)
+  if makespan t ~iterations < sequential_time t ~iterations then schedule t ~iterations
+  else begin
+    (* Sequential fallback, kept on the same machine so downstream
+       consumers (codegen, simulator) see a uniform interface. *)
+    let entries = ref [] in
+    let cursor = ref 0 in
+    for i = 0 to iterations - 1 do
+      List.iter
+        (fun v ->
+          entries :=
+            Schedule.{ inst = { node = v; iter = i }; proc = 0; start = !cursor } :: !entries;
+          cursor := !cursor + Graph.latency t.graph v)
+        t.order
+    done;
+    Schedule.make ~graph:t.graph ~machine:t.machine !entries
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "doacross: order [%s], body length %d, delay %d%s"
+    (String.concat "; " (List.map (Graph.name t.graph) t.order))
+    t.body_length t.delay
+    (if no_overlap t then " (no overlap: sequential)" else "")

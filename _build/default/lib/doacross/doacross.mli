@@ -1,0 +1,63 @@
+(** The DOACROSS baseline [Cytron86].
+
+    DOACROSS is iteration-level pipelining: iterations are dealt
+    round-robin to the processors and each iteration executes its body
+    {e sequentially}, in a fixed order; loop-carried dependences force
+    iteration [i + 1] to start at least [d] (the {e delay}) cycles
+    after iteration [i].  Synchronisation between the producing and the
+    consuming processor costs the dependence edge's communication
+    estimate, exactly as in our scheduler, which makes the comparison
+    of Section 3/4 an apples-to-apples one.
+
+    Given body offsets [s(v)] (prefix sums of latencies in body order),
+    every loop-carried edge u -> v of distance [delta] contributes
+
+    [d >= ceil ((s(u) + lat(u) + sync - s(v)) / delta)]
+
+    and [d] is the maximum of those bounds (at least 0).  When
+    [d >= L] (the body length) no overlap remains and DOACROSS
+    degenerates to sequential execution — the situation of paper
+    Figure 8, where the (E, A) dependence kills all pipelining
+    whatever the order. *)
+
+type t = {
+  graph : Mimd_ddg.Graph.t;
+  machine : Mimd_machine.Config.t;
+  order : int list;  (** body execution order (a distance-0 topological order) *)
+  offsets : int array;  (** node id -> start offset inside the body *)
+  body_length : int;  (** total body latency *)
+  delay : int;  (** minimum inter-iteration start distance [d] *)
+}
+
+val analyze : ?order:int list -> graph:Mimd_ddg.Graph.t -> machine:Mimd_machine.Config.t -> unit -> t
+(** Compute offsets and delay.  [order] defaults to the consistent
+    distance-0 topological order; a caller-provided order must be a
+    permutation of the nodes respecting distance-0 dependences.
+    @raise Invalid_argument on an invalid order. *)
+
+val start_times : t -> iterations:int -> int array
+(** [start_times t ~iterations].(i) is the start cycle of iteration
+    [i]: the smallest value compatible with the delay chain and with
+    the processor of iteration [i] having finished iteration
+    [i - processors]. *)
+
+val makespan : t -> iterations:int -> int
+
+val schedule : t -> iterations:int -> Mimd_core.Schedule.t
+(** Materialise the DOACROSS schedule (iteration [i] on processor
+    [i mod p]); it validates under {!Mimd_core.Schedule.validate}. *)
+
+val no_overlap : t -> bool
+(** True iff [delay >= body_length], i.e. DOACROSS achieves nothing. *)
+
+val effective_makespan : t -> iterations:int -> int
+(** What a DOACROSS compiler would actually emit: when no overlap is
+    possible the loop is left sequential (paper Figure 8(a): "it is the
+    same as the schedule of a sequential execution"), so this is
+    [min (makespan, sequential time)]. *)
+
+val effective_schedule : t -> iterations:int -> Mimd_core.Schedule.t
+(** The schedule behind {!effective_makespan}: the DOACROSS schedule,
+    or the plain sequential one when pipelining buys nothing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Graph = Mimd_ddg.Graph
+module Topo = Mimd_ddg.Topo
+module Scc = Mimd_ddg.Scc
+module Config = Mimd_machine.Config
+module Schedule = Mimd_core.Schedule
+
+type t = {
+  graph : Graph.t;
+  machine : Config.t;
+  stages : int list array;
+  stage_of : int array;
+  stage_latency : int array;
+}
+
+let analyze ~graph ~machine () =
+  let scc = Scc.run graph in
+  let order = Scc.condensation_topo_order scc in
+  let nstages = List.length order in
+  let stages = Array.make nstages [] in
+  let stage_of = Array.make (Graph.node_count graph) 0 in
+  (* Members of each stage in the consistent distance-0 order. *)
+  let topo = Topo.sort_zero graph in
+  List.iteri
+    (fun stage comp ->
+      let members = List.filter (fun v -> scc.Scc.component.(v) = comp) topo in
+      stages.(stage) <- members;
+      List.iter (fun v -> stage_of.(v) <- stage) members)
+    order;
+  let stage_latency =
+    Array.map (fun members -> List.fold_left (fun acc v -> acc + Graph.latency graph v) 0 members) stages
+  in
+  { graph; machine; stages; stage_of; stage_latency }
+
+let processors t = Array.length t.stages
+
+let offsets t =
+  let off = Array.make (Graph.node_count t.graph) 0 in
+  Array.iter
+    (fun members ->
+      let cursor = ref 0 in
+      List.iter
+        (fun v ->
+          off.(v) <- !cursor;
+          cursor := !cursor + Graph.latency t.graph v)
+        members)
+    t.stages;
+  off
+
+let start_times t ~iterations =
+  if iterations <= 0 then invalid_arg "Dopipe.start_times: iterations <= 0";
+  let nstages = processors t in
+  let starts = Array.make_matrix nstages iterations 0 in
+  (* Condensation order guarantees inter-stage edges flow from lower to
+     higher stage indices, so a single (iteration, stage) sweep sees
+     every producer before its consumers. *)
+  for i = 0 to iterations - 1 do
+    for s = 0 to nstages - 1 do
+      let t0 = if i = 0 then 0 else starts.(s).(i - 1) + t.stage_latency.(s) in
+      let bound = ref t0 in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun (e : Graph.edge) ->
+              let su = t.stage_of.(e.src) in
+              if su <> s then begin
+                let pi = i - e.distance in
+                if pi >= 0 then
+                  bound :=
+                    max !bound
+                      (starts.(su).(pi) + t.stage_latency.(su) + Config.edge_cost t.machine e)
+              end)
+            (Graph.preds t.graph v))
+        t.stages.(s);
+      starts.(s).(i) <- !bound
+    done
+  done;
+  starts
+
+let makespan t ~iterations =
+  let starts = start_times t ~iterations in
+  let best = ref 0 in
+  Array.iteri
+    (fun s per_stage -> best := max !best (per_stage.(iterations - 1) + t.stage_latency.(s)))
+    starts;
+  !best
+
+let schedule t ~iterations =
+  let starts = start_times t ~iterations in
+  let off = offsets t in
+  let entries = ref [] in
+  Array.iteri
+    (fun s members ->
+      List.iter
+        (fun v ->
+          for i = 0 to iterations - 1 do
+            entries :=
+              Schedule.{ inst = { node = v; iter = i }; proc = s; start = starts.(s).(i) + off.(v) }
+              :: !entries
+          done)
+        members)
+    t.stages;
+  let machine =
+    Config.make ~processors:(processors t) ~comm_estimate:t.machine.Config.comm_estimate
+  in
+  Schedule.make ~graph:t.graph ~machine !entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dopipe: %d stage(s)@," (processors t);
+  Array.iteri
+    (fun s members ->
+      Format.fprintf ppf "  stage %d (latency %d): %s@," s t.stage_latency.(s)
+        (String.concat ", " (List.map (Graph.name t.graph) members)))
+    t.stages;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** The Dopipe baseline [Padua79].
+
+    Dopipe partitions the loop body into pipeline stages — the
+    strongly connected components of the dependence graph, in
+    condensation order — and runs each stage as its own loop on its own
+    processor, forwarding values downstream once per iteration.  Unlike
+    DOACROSS it exploits the parallelism {e between} the decoupled
+    recurrences but still none {e inside} a stage.
+
+    The paper cites Dopipe alongside DOACROSS as the representative
+    iteration-pipelining techniques; we include it as a second
+    baseline. *)
+
+type t = {
+  graph : Mimd_ddg.Graph.t;
+  machine : Mimd_machine.Config.t;
+  stages : int list array;  (** stage index -> member nodes, condensation order *)
+  stage_of : int array;  (** node id -> stage index *)
+  stage_latency : int array;
+}
+
+val analyze : graph:Mimd_ddg.Graph.t -> machine:Mimd_machine.Config.t -> unit -> t
+(** One stage per SCC.  Uses as many processors as there are stages
+    (Dopipe's natural shape); [machine] supplies the communication
+    estimate. *)
+
+val processors : t -> int
+
+val start_times : t -> iterations:int -> int array array
+(** [.(stage).(i)] start of stage [stage]'s iteration [i]: after its
+    own previous iteration and after upstream stages' data (plus
+    communication) arrive. *)
+
+val makespan : t -> iterations:int -> int
+
+val schedule : t -> iterations:int -> Mimd_core.Schedule.t
+(** Concrete schedule on [processors t] processors (stage [s] on
+    processor [s]); validates under {!Mimd_core.Schedule.validate}. *)
+
+val pp : Format.formatter -> t -> unit

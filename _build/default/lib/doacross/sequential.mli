@@ -1,0 +1,9 @@
+(** Sequential execution: the reference point for percentage
+    parallelism. *)
+
+val time : Mimd_ddg.Graph.t -> iterations:int -> int
+(** [iterations * total body latency]. *)
+
+val schedule : graph:Mimd_ddg.Graph.t -> iterations:int -> Mimd_core.Schedule.t
+(** All instances back to back on one processor, iterations in order,
+    bodies in the consistent distance-0 topological order. *)

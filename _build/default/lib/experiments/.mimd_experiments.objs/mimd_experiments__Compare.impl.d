@@ -1,0 +1,1 @@
+lib/experiments/compare.ml: Format Mimd_core Mimd_ddg Mimd_doacross Mimd_machine Mimd_sim Option

@@ -1,0 +1,1 @@
+lib/experiments/compare.mli: Format Mimd_core Mimd_ddg Mimd_machine Mimd_sim

@@ -1,0 +1,1 @@
+lib/experiments/convergence.ml: Compare List Mimd_util Printf

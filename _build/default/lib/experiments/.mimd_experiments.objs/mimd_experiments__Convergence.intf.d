@@ -1,0 +1,1 @@
+lib/experiments/convergence.mli: Mimd_ddg Mimd_machine

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Buffer Compare List Mimd_core Mimd_ddg Printf String Table1

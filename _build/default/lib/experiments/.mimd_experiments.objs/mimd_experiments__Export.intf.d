@@ -1,0 +1,1 @@
+lib/experiments/export.mli: Compare Mimd_core Table1

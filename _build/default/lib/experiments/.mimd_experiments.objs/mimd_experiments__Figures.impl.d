@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Buffer Compare Format List Mimd_codegen Mimd_core Mimd_ddg Mimd_doacross Mimd_loop_ir Mimd_machine Mimd_util Mimd_workloads Printf

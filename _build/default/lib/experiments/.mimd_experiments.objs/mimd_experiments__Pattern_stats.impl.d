@@ -1,0 +1,1 @@
+lib/experiments/pattern_stats.ml: List Mimd_core Mimd_ddg Mimd_machine Mimd_util Mimd_workloads Printf Table1

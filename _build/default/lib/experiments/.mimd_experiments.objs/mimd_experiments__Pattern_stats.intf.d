@@ -1,0 +1,1 @@
+lib/experiments/pattern_stats.mli: Mimd_ddg Mimd_machine

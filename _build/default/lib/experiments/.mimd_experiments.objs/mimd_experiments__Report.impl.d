@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Compare Figures List Mimd_workloads Pattern_stats Printf Scaling String Table1

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Buffer List Mimd_codegen Mimd_core Mimd_ddg Mimd_doacross Mimd_loop_ir Mimd_machine Mimd_sim Mimd_util Mimd_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Compare List Mimd_ddg Mimd_machine Mimd_sim Mimd_util Mimd_workloads Printf

@@ -1,0 +1,54 @@
+(** One-stop comparison of the pattern-based scheduler against the
+    baselines on a single loop — the primitive every figure and table
+    reproduction is built from. *)
+
+type result = {
+  label : string;
+  iterations : int;
+  sequential : int;
+  ours : int;  (** analytic makespan of the full pattern-based schedule *)
+  ours_sim : int;  (** simulated makespan of its generated programs *)
+  doacross : int;  (** analytic, best order, sequential fallback *)
+  doacross_sim : int;
+  dopipe : int option;  (** analytic; [None] if not computed *)
+  ours_procs : int;
+  doacross_procs : int;
+  pattern_rate : float option;  (** cycles/iteration of the Cyclic core *)
+  recurrence_bound : float;  (** machine-independent lower bound *)
+}
+
+val ours_sp : result -> float
+val ours_sim_sp : result -> float
+val doacross_sp : result -> float
+val doacross_sim_sp : result -> float
+
+val run :
+  ?label:string ->
+  ?iterations:int ->
+  ?links:Mimd_sim.Links.t ->
+  ?with_dopipe:bool ->
+  ?strategy:Mimd_core.Full_sched.strategy ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  unit ->
+  result
+(** Schedule [graph] both ways and measure.  [iterations] defaults to
+    100; [links] defaults to fixed latency [machine.comm_estimate]
+    (the no-fluctuation case mm = 1); [with_dopipe] defaults to false.
+    Both simulated numbers run the generated message-passing programs
+    on {!Mimd_sim.Exec}. *)
+
+val cyclic_only :
+  ?label:string ->
+  ?iterations:int ->
+  ?links:Mimd_sim.Links.t ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  unit ->
+  result
+(** The Table-1 protocol: the input graph {e is} the Cyclic subset
+    (already extracted); schedule it directly with the greedy policy
+    (no pattern needed, robust to disconnected cores) versus DOACROSS,
+    and simulate both. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,29 @@
+type row = { iterations : int; ours_sp : float; doacross_sp : float }
+
+let default_trips = [ 2; 5; 10; 20; 50; 100; 200; 500 ]
+
+let measure ?(trip_counts = default_trips) ~graph ~machine () =
+  List.map
+    (fun iterations ->
+      let r = Compare.run ~iterations ~graph ~machine () in
+      {
+        iterations;
+        ours_sp = Compare.ours_sp r;
+        doacross_sp = Compare.doacross_sp r;
+      })
+    trip_counts
+
+let render ~label rows =
+  let t =
+    Mimd_util.Tablefmt.create ~header:[ "iterations"; "ours Sp"; "DOACROSS Sp" ] ()
+  in
+  List.iter
+    (fun r ->
+      Mimd_util.Tablefmt.add_row t
+        [
+          string_of_int r.iterations;
+          Mimd_util.Tablefmt.cell_float r.ours_sp;
+          Mimd_util.Tablefmt.cell_float r.doacross_sp;
+        ])
+    rows;
+  Printf.sprintf "Start-up transient on %s:\n%s" label (Mimd_util.Tablefmt.render t)

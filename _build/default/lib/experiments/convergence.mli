@@ -1,0 +1,24 @@
+(** Start-up transient: percentage parallelism as a function of the
+    trip count.
+
+    The pattern-based schedule pays a prologue (and, with separate
+    Flow-in processors, a start-up shift) before reaching its
+    steady-state rate; DOACROSS pays its pipeline fill.  This
+    experiment shows how quickly both approaches approach their
+    asymptotic Sp — context for the paper's single-N measurements. *)
+
+type row = {
+  iterations : int;
+  ours_sp : float;
+  doacross_sp : float;
+}
+
+val measure :
+  ?trip_counts:int list ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  unit ->
+  row list
+(** Default trip counts: 2, 5, 10, 20, 50, 100, 200, 500. *)
+
+val render : label:string -> row list -> string

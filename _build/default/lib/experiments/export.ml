@@ -1,0 +1,89 @@
+module Schedule = Mimd_core.Schedule
+module Graph = Mimd_ddg.Graph
+
+let csv_escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_line fields = String.concat "," (List.map csv_escape fields) ^ "\n"
+
+let schedule_csv sched =
+  let g = Schedule.graph sched in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (csv_line [ "node"; "name"; "iteration"; "processor"; "start"; "finish" ]);
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Buffer.add_string buf
+        (csv_line
+           [
+             string_of_int e.inst.node;
+             Graph.name g e.inst.node;
+             string_of_int e.inst.iter;
+             string_of_int e.proc;
+             string_of_int e.start;
+             string_of_int (Schedule.finish sched e);
+           ]))
+    (Schedule.entries sched);
+  Buffer.contents buf
+
+let comparison_csv results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (csv_line
+       [
+         "label"; "iterations"; "sequential"; "ours"; "ours_sim"; "doacross"; "doacross_sim";
+         "ours_procs";
+       ]);
+  List.iter
+    (fun (r : Compare.result) ->
+      Buffer.add_string buf
+        (csv_line
+           [
+             r.Compare.label;
+             string_of_int r.Compare.iterations;
+             string_of_int r.Compare.sequential;
+             string_of_int r.Compare.ours;
+             string_of_int r.Compare.ours_sim;
+             string_of_int r.Compare.doacross;
+             string_of_int r.Compare.doacross_sim;
+             string_of_int r.Compare.ours_procs;
+           ]))
+    results;
+  Buffer.contents buf
+
+let table1_csv rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (csv_line
+       ("seed" :: "cyclic_nodes"
+       :: List.concat_map
+            (fun mm -> [ Printf.sprintf "ours_mm%d" mm; Printf.sprintf "doacross_mm%d" mm ])
+            Table1.mms));
+  List.iter
+    (fun (r : Table1.row) ->
+      Buffer.add_string buf
+        (csv_line
+           (string_of_int r.Table1.seed
+           :: string_of_int r.Table1.cyclic_nodes
+           :: List.concat
+                (List.mapi
+                   (fun i _ ->
+                     [
+                       Printf.sprintf "%.4f" r.Table1.ours.(i);
+                       Printf.sprintf "%.4f" r.Table1.doacross.(i);
+                     ])
+                   Table1.mms))))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Machine-readable exports for external plotting and analysis.
+
+    Everything the harness prints as ASCII tables is also available as
+    CSV: schedules (one row per placed instance), comparison results,
+    and Table 1.  Quoting follows RFC 4180 (fields containing commas,
+    quotes or newlines are quoted; quotes doubled). *)
+
+val csv_escape : string -> string
+(** A single CSV field, quoted if needed. *)
+
+val csv_line : string list -> string
+(** One CSV record, newline-terminated. *)
+
+val schedule_csv : Mimd_core.Schedule.t -> string
+(** Header [node,name,iteration,processor,start,finish] then one row
+    per instance, ascending start. *)
+
+val comparison_csv : Compare.result list -> string
+(** Header
+    [label,iterations,sequential,ours,ours_sim,doacross,doacross_sim,ours_procs]
+    then one row per result. *)
+
+val table1_csv : Table1.row list -> string
+(** Header [seed,cyclic_nodes,ours_mm1,doacross_mm1,...] matching
+    {!Table1.mms}. *)

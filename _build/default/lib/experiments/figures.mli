@@ -1,0 +1,47 @@
+(** Regeneration of every figure in the paper.
+
+    Each function renders the corresponding paper artifact from
+    scratch — classification listings, schedule grids, transformed
+    loops — and reports paper-vs-measured percentage parallelism where
+    the paper gives numbers.  The bench harness prints these; the
+    integration tests assert their key facts. *)
+
+val fig1 : unit -> string
+(** Figure 1: the classification example (Flow-in / Cyclic /
+    Flow-out subsets). *)
+
+val fig3 : unit -> string
+(** Figure 3: pattern emergence on the 7-node example (schedule grid
+    with the repeating pattern). *)
+
+val fig7 : unit -> string
+(** Figure 7(a)-(e): source loop, dependence analysis, schedule, and
+    the transformed two-processor loop; Sp vs the paper's 40%. *)
+
+val fig8 : unit -> string
+(** Figure 8: DOACROSS on the Figure-7 loop — natural order and
+    exhaustively reordered; both achieve nothing. *)
+
+val fig9_10 : unit -> string
+(** Figures 9-10: the [Cytron86] example — classification, Cyclic
+    pattern, Flow-in processor count, the five-subloop transformed
+    program; Sp vs the paper's 72.7 / 31.8. *)
+
+val fig11 : unit -> string
+(** Figure 11: Livermore Loop 18; Sp vs the paper's 49.4 / 12.6. *)
+
+val fig12 : unit -> string
+(** Figure 12: the fifth-order elliptic wave filter; Sp vs the
+    paper's 30.9 / 0. *)
+
+val sweep_k : unit -> string
+(** Extension: Sp of both schedulers on the worked examples as the
+    communication estimate k sweeps 0..8 (k = 0 degenerates to Perfect
+    Pipelining's assumption). *)
+
+val ablation : unit -> string
+(** Extension: the Section-3 folding heuristic and DOACROSS reordering,
+    on vs off, across the worked examples. *)
+
+val all : unit -> (string * string) list
+(** [(experiment id, rendered text)] for every figure above. *)

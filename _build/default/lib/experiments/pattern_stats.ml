@@ -1,0 +1,82 @@
+module Graph = Mimd_ddg.Graph
+module Cyclic_sched = Mimd_core.Cyclic_sched
+module Classify = Mimd_core.Classify
+module Pattern = Mimd_core.Pattern
+
+type row = {
+  label : string;
+  nodes : int;
+  iterations_unwound : int;
+  detection_cycle : int;
+  configurations : int;
+  rejected : int;
+  height : int;
+  iter_shift : int;
+}
+
+let measure ?(machine = Mimd_machine.Config.default) ~label graph =
+  let cls = Classify.run graph in
+  if cls.Classify.cyclic = [] then None
+  else begin
+    let core, _, _ = Classify.cyclic_subgraph graph cls in
+    match Cyclic_sched.solve ~max_iterations:256 ~graph:core ~machine () with
+    | r ->
+      let s = r.Cyclic_sched.stats and p = r.Cyclic_sched.pattern in
+      Some
+        {
+          label;
+          nodes = Graph.node_count core;
+          iterations_unwound = s.Cyclic_sched.iterations_touched;
+          detection_cycle = s.Cyclic_sched.detection_cycle;
+          configurations = s.Cyclic_sched.configurations_checked;
+          rejected = s.Cyclic_sched.candidates_rejected;
+          height = p.Pattern.height;
+          iter_shift = p.Pattern.iter_shift;
+        }
+    | exception (Cyclic_sched.No_pattern _ | Invalid_argument _) -> None
+  end
+
+let paper_workloads () =
+  List.filter_map
+    (fun (label, g, machine) -> measure ~machine ~label g)
+    [
+      ("fig3", Mimd_workloads.Fig3.graph (), Mimd_workloads.Fig3.machine);
+      ("fig7", Mimd_workloads.Fig7.graph (), Mimd_workloads.Fig7.machine);
+      ("cytron86", Mimd_workloads.Cytron86.graph (), Mimd_workloads.Cytron86.machine);
+      ("ll18", Mimd_workloads.Livermore.graph (), Mimd_workloads.Livermore.machine);
+      ("ewf", Mimd_workloads.Elliptic.graph (), Mimd_workloads.Elliptic.machine);
+    ]
+
+let random_loops ?(count = 25) () =
+  let machine = Mimd_machine.Config.make ~processors:4 ~comm_estimate:3 in
+  Table1.select_seeds ~count ()
+  |> List.filter_map (fun seed ->
+         match Mimd_workloads.Random_loop.generate_cyclic ~seed () with
+         | None -> None
+         | Some g -> measure ~machine ~label:(Printf.sprintf "random-%d" seed) g)
+
+let render rows =
+  let t =
+    Mimd_util.Tablefmt.create
+      ~header:[ "loop"; "nodes"; "M"; "cycle"; "cfgs"; "rejected"; "H"; "d" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Mimd_util.Tablefmt.add_row t
+        [
+          r.label;
+          string_of_int r.nodes;
+          string_of_int r.iterations_unwound;
+          string_of_int r.detection_cycle;
+          string_of_int r.configurations;
+          string_of_int r.rejected;
+          string_of_int r.height;
+          string_of_int r.iter_shift;
+        ])
+    rows;
+  let ms = List.map (fun r -> float_of_int r.iterations_unwound) rows in
+  Mimd_util.Tablefmt.render t
+  ^ Printf.sprintf "M (iterations unwound): mean %.1f, max %.0f  (paper: \"less than 10 in all the examples we ran\")\n"
+      (Mimd_util.Stats.mean ms)
+      (if ms = [] then 0.0 else Mimd_util.Stats.maximum ms)

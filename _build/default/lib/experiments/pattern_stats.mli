@@ -1,0 +1,36 @@
+(** Empirical behaviour of the pattern search.
+
+    Section 2.2 claims the unrolling depth M needed before a pattern
+    emerges "is typically very small, less than 10 in all the examples
+    we ran", which is what makes the worst-case O(M^3 N^3) detection
+    cost irrelevant in practice.  This experiment measures M (the
+    iterations actually unwound), the detection cycle, the number of
+    configurations inspected, and rejected candidates, across the paper
+    workloads, the synthetic families, and the random loops. *)
+
+type row = {
+  label : string;
+  nodes : int;
+  iterations_unwound : int;  (** the paper's M *)
+  detection_cycle : int;
+  configurations : int;
+  rejected : int;
+  height : int;
+  iter_shift : int;
+}
+
+val measure :
+  ?machine:Mimd_machine.Config.t -> label:string -> Mimd_ddg.Graph.t -> row option
+(** [None] if the graph is not a valid [solve] input (pred-less nodes)
+    or no pattern was found in budget.  The graph should be a Cyclic
+    subset; full loops are reduced automatically. *)
+
+val paper_workloads : unit -> row list
+(** The four worked examples plus Fig. 3. *)
+
+val random_loops : ?count:int -> unit -> row list
+(** The Table-1 random Cyclic subsets (default: the first 25 usable
+    seeds), skipping those whose disconnected components never settle
+    into a joint pattern. *)
+
+val render : row list -> string

@@ -1,0 +1,11 @@
+(** One-shot markdown report: every reproduction and extension result
+    in a single reviewable document.
+
+    [generate ()] runs the full harness (figures, Table 1, pattern
+    statistics, extension experiments) and renders a self-contained
+    markdown string; the CLI's [report] command writes it to a file.
+    Running it twice produces identical text — all seeds are fixed. *)
+
+val generate : ?iterations:int -> unit -> string
+(** [iterations] is the trip count for the measured comparisons
+    (default 100, the EXPERIMENTS.md protocol). *)

@@ -1,0 +1,1 @@
+lib/loop_ir/ast.ml: Format List

@@ -1,0 +1,1 @@
+lib/loop_ir/cost.ml: Ast Mimd_ddg

@@ -1,0 +1,1 @@
+lib/loop_ir/cost.mli: Ast Mimd_ddg

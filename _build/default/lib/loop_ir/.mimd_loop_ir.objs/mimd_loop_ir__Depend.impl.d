@@ -1,0 +1,1 @@
+lib/loop_ir/depend.ml: Array Ast Cost Format Hashtbl If_convert List Mimd_ddg Parser Printf String

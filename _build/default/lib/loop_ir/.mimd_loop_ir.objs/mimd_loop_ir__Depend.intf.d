@@ -1,0 +1,1 @@
+lib/loop_ir/depend.mli: Ast Cost Format Mimd_ddg

@@ -1,0 +1,1 @@
+lib/loop_ir/if_convert.mli: Ast

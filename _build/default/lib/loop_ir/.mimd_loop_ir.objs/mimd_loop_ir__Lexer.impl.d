@@ -1,0 +1,1 @@
+lib/loop_ir/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/loop_ir/lower.ml: Array Ast Cost Depend Hashtbl If_convert List Mimd_ddg Option Parser Printf

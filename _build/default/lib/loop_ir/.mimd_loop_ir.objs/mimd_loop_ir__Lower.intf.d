@@ -1,0 +1,1 @@
+lib/loop_ir/lower.mli: Ast Cost Mimd_ddg

@@ -1,0 +1,1 @@
+lib/loop_ir/parser.ml: Ast Format Lexer List Printf

@@ -1,0 +1,72 @@
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Int of int
+  | Scalar of string
+  | Ref of { array : string; offset : int }
+  | Neg of expr
+  | Binop of binop * expr * expr
+  | Select of expr * expr * expr
+
+type stmt =
+  | Assign of { array : string; offset : int; rhs : expr }
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+
+type loop = { index : string; lo : string; hi : string; body : stmt list }
+
+let rec reads_of_expr = function
+  | Int _ | Scalar _ -> []
+  | Ref { array; offset } -> [ (array, offset) ]
+  | Neg e -> reads_of_expr e
+  | Binop (_, a, b) -> reads_of_expr a @ reads_of_expr b
+  | Select (p, a, b) -> reads_of_expr p @ reads_of_expr a @ reads_of_expr b
+
+let stmt_is_flat = function
+  | Assign _ -> true
+  | If _ -> false
+
+let is_flat loop = List.for_all stmt_is_flat loop.body
+
+let assignments loop =
+  List.map
+    (function
+      | Assign { array; offset; rhs } -> (array, offset, rhs)
+      | If _ -> invalid_arg "Ast.assignments: body contains an if (run If_convert.run)")
+    loop.body
+
+let string_of_binop = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let pp_index ppf offset =
+  if offset = 0 then Format.fprintf ppf "i"
+  else if offset > 0 then Format.fprintf ppf "i+%d" offset
+  else Format.fprintf ppf "i-%d" (-offset)
+
+let rec pp_expr ppf = function
+  | Int k -> Format.fprintf ppf "%d" k
+  | Scalar s -> Format.fprintf ppf "%s" s
+  | Ref { array; offset } -> Format.fprintf ppf "%s[%a]" array pp_index offset
+  | Neg e -> Format.fprintf ppf "-%a" pp_atom e
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_atom a (string_of_binop op) pp_atom b
+  | Select (p, a, b) ->
+    Format.fprintf ppf "select(%a, %a, %a)" pp_expr p pp_expr a pp_expr b
+
+and pp_atom ppf e =
+  match e with
+  | Int _ | Scalar _ | Ref _ -> pp_expr ppf e
+  | Neg _ | Binop _ | Select _ -> Format.fprintf ppf "(%a)" pp_expr e
+
+let rec pp_stmt ppf = function
+  | Assign { array; offset; rhs } ->
+    Format.fprintf ppf "%s[%a] = %a;" array pp_index offset pp_expr rhs
+  | If { cond; then_; else_ } ->
+    Format.fprintf ppf "@[<v>if (%a) {@;<0 2>@[<v>%a@]@,}" pp_expr cond pp_block then_;
+    if else_ <> [] then Format.fprintf ppf " else {@;<0 2>@[<v>%a@]@,}" pp_block else_;
+    Format.fprintf ppf "@]"
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_loop ppf loop =
+  Format.fprintf ppf "@[<v>for %s = %s to %s {@;<0 2>@[<v>%a@]@,}@]" loop.index loop.lo
+    loop.hi pp_block loop.body

@@ -1,0 +1,53 @@
+(** Abstract syntax of the mini loop language.
+
+    The language covers the loops the paper works with: a single
+    normalized counted loop over one index variable, whose body is a
+    sequence of assignments to one-dimensional arrays subscripted by
+    [i + c] for a compile-time constant [c], plus structured
+    conditionals (which {!If_convert} lowers away, after [AlKe83]).
+
+    Example (paper Figure 7(a)):
+    {v
+      for i = 1 to n {
+        A[i] = A[i-1] * E[i-1];
+        B[i] = A[i];
+        if (A[i]) { C[i] = B[i]; } else { C[i] = C[i-1]; }
+      }
+    v} *)
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Int of int  (** integer literal *)
+  | Scalar of string  (** loop-invariant scalar variable *)
+  | Ref of { array : string; offset : int }  (** [X\[i+offset\]] *)
+  | Neg of expr
+  | Binop of binop * expr * expr
+  | Select of expr * expr * expr
+      (** [Select (p, a, b)]: [a] when [p] is true else [b] — produced
+          by if-conversion, not by the parser *)
+
+type stmt =
+  | Assign of { array : string; offset : int; rhs : expr }
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+
+type loop = {
+  index : string;  (** loop variable name *)
+  lo : string;  (** lower bound, symbolic *)
+  hi : string;  (** upper bound, symbolic *)
+  body : stmt list;
+}
+
+val reads_of_expr : expr -> (string * int) list
+(** Array references in evaluation order (duplicates preserved). *)
+
+val is_flat : loop -> bool
+(** No [If] left in the body. *)
+
+val assignments : loop -> (string * int * expr) list
+(** The body's assignments, in order.  @raise Invalid_argument if the
+    body still contains an [If] — run {!If_convert.run} first. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_loop : Format.formatter -> loop -> unit

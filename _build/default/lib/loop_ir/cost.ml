@@ -1,0 +1,21 @@
+type t = { base : int; add : int; mul : int; div : int; select : int }
+
+let uniform = { base = 1; add = 0; mul = 0; div = 0; select = 0 }
+let weighted = { base = 0; add = 1; mul = 2; div = 2; select = 1 }
+
+let rec op_cost t = function
+  | Ast.Int _ | Ast.Scalar _ | Ast.Ref _ -> 0
+  | Ast.Neg e -> op_cost t e
+  | Ast.Binop (op, a, b) ->
+    let c = match op with Ast.Add | Ast.Sub -> t.add | Ast.Mul -> t.mul | Ast.Div -> t.div in
+    c + op_cost t a + op_cost t b
+  | Ast.Select (p, a, b) -> t.select + op_cost t p + op_cost t a + op_cost t b
+
+let expr_latency t e = max 1 (t.base + op_cost t e)
+
+let kind_of_rhs = function
+  | Ast.Int _ | Ast.Scalar _ | Ast.Ref _ | Ast.Neg _ -> Mimd_ddg.Graph.Copy
+  | Ast.Binop ((Ast.Add | Ast.Sub), _, _) -> Mimd_ddg.Graph.Add
+  | Ast.Binop (Ast.Mul, _, _) -> Mimd_ddg.Graph.Mul
+  | Ast.Binop (Ast.Div, _, _) -> Mimd_ddg.Graph.Div
+  | Ast.Select _ -> Mimd_ddg.Graph.Compare

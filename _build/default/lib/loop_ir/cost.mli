@@ -1,0 +1,31 @@
+(** Operation cost models: from expressions to node latencies.
+
+    Granularity is machine-dependent (paper footnote 3: a node's
+    execution time should stay within the same order of magnitude as
+    the communication cost), so the mapping from a statement's
+    expression to a latency is pluggable. *)
+
+type t = {
+  base : int;  (** latency of a plain copy / empty expression *)
+  add : int;
+  mul : int;
+  div : int;
+  select : int;
+}
+
+val uniform : t
+(** Everything costs 1 — every statement gets latency 1 whatever its
+    expression (paper Figure 7's lv = (1,1,1,1,1)). *)
+
+val weighted : t
+(** add/sub 1, mul 2, div 2, select 1, accumulated over the
+    expression tree on top of a base of 0 (minimum 1) — the model the
+    Livermore and filter workloads use. *)
+
+val expr_latency : t -> Ast.expr -> int
+(** Total latency of computing an expression, at least 1. *)
+
+val kind_of_rhs : Ast.expr -> Mimd_ddg.Graph.kind
+(** A representative kind for a statement: [Predicate] never comes
+    from here (see {!Depend}); otherwise the outermost operation, or
+    [Copy] for plain moves. *)

@@ -1,0 +1,44 @@
+let predicate_prefix = "p$"
+
+let negate cond = Ast.Binop (Ast.Sub, Ast.Int 1, cond)
+
+let conjoin guards =
+  match guards with
+  | [] -> None
+  | g :: rest -> Some (List.fold_left (fun acc g' -> Ast.Binop (Ast.Mul, acc, g')) g rest)
+
+let run (loop : Ast.loop) =
+  let counter = ref 0 in
+  let out = ref [] in
+  let emit s = out := s :: !out in
+  let fresh_predicate cond =
+    let name = Printf.sprintf "%s%d" predicate_prefix !counter in
+    incr counter;
+    (* Booleanise: conditions are arbitrary values (truthy when
+       positive), but guards get multiplied and negated as 1 - p, which
+       is only sound on {0, 1}. *)
+    let rhs = Ast.Select (cond, Ast.Int 1, Ast.Int 0) in
+    emit (Ast.Assign { array = name; offset = 0; rhs });
+    name
+  in
+  let rec flatten guards stmt =
+    match stmt with
+    | Ast.Assign { array; offset; rhs } -> begin
+      match conjoin guards with
+      | None -> emit (Ast.Assign { array; offset; rhs })
+      | Some guard ->
+        let keep = Ast.Ref { array; offset } in
+        emit (Ast.Assign { array; offset; rhs = Ast.Select (guard, rhs, keep) })
+    end
+    | Ast.If { cond; then_; else_ } ->
+      let p = fresh_predicate cond in
+      let p_ref = Ast.Ref { array = p; offset = 0 } in
+      List.iter (flatten (p_ref :: guards)) then_;
+      if else_ <> [] then begin
+        let np = fresh_predicate (negate p_ref) in
+        let np_ref = Ast.Ref { array = np; offset = 0 } in
+        List.iter (flatten (np_ref :: guards)) else_
+      end
+  in
+  List.iter (flatten []) loop.Ast.body;
+  { loop with Ast.body = List.rev !out }

@@ -1,0 +1,23 @@
+(** If-conversion [AlKe83]: replacing control dependence with data
+    dependence.
+
+    The scheduler does not handle in-loop conditional jumps (Section 1:
+    "we will assume the input loop is either without conditional
+    statements or is if-converted"), so structured conditionals are
+    lowered before analysis:
+
+    - each [if]'s condition becomes an assignment to a fresh predicate
+      cell [p$k];
+    - every assignment [X\[i+c\] = e] guarded by predicates [p1..pn]
+      becomes [X\[i+c\] = select(p1*..*pn, e, X\[i+c\])] — it now
+      {e reads} the predicates and its own previous value, which is
+      precisely the control-to-data dependence conversion;
+    - nested conditionals accumulate their guards. *)
+
+val run : Ast.loop -> Ast.loop
+(** Returns a flat loop ({!Ast.is_flat}).  Idempotent on already-flat
+    loops. *)
+
+val predicate_prefix : string
+(** Arrays whose name starts with this prefix ("p$") hold predicates;
+    {!Depend} gives their defining nodes the [Predicate] kind. *)

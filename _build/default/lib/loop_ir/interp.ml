@@ -1,0 +1,79 @@
+(* Deterministic pseudo-values in [1, 2): never zero, so divisions stay
+   finite and value comparisons are exact across runs. *)
+let hashed_unit_float h = 1.0 +. (float_of_int (h land 0xFFFF) /. 65536.0)
+let init name index = hashed_unit_float (Hashtbl.hash (name, index))
+let default_scalar name = hashed_unit_float (Hashtbl.hash name)
+
+type store = {
+  cells : (string * int, float) Hashtbl.t;
+  initial : string -> int -> float;
+}
+
+let create_store ?(init = init) () = { cells = Hashtbl.create 256; initial = init }
+
+let cell_index array ~iter ~offset = if Depend.is_fixed_cell array then 0 else iter + offset
+
+let read_idx st array index =
+  match Hashtbl.find_opt st.cells (array, index) with
+  | Some v -> v
+  | None -> st.initial array index
+
+let write_idx st array index v = Hashtbl.replace st.cells (array, index) v
+
+let read st array index = read_idx st array index
+let write st array index v = write_idx st array index v
+
+let written_cells st =
+  Hashtbl.fold (fun (a, i) v acc -> (a, i, v) :: acc) st.cells [] |> List.sort compare
+
+let truthy v = v > 0.0
+
+let rec eval_expr st ~scalars ~iter (e : Ast.expr) =
+  match e with
+  | Ast.Int k -> float_of_int k
+  | Ast.Scalar s -> scalars s
+  | Ast.Ref { array; offset } -> read_idx st array (cell_index array ~iter ~offset)
+  | Ast.Neg e -> -.eval_expr st ~scalars ~iter e
+  | Ast.Binop (op, a, b) ->
+    let va = eval_expr st ~scalars ~iter a and vb = eval_expr st ~scalars ~iter b in
+    (match op with
+    | Ast.Add -> va +. vb
+    | Ast.Sub -> va -. vb
+    | Ast.Mul -> va *. vb
+    | Ast.Div -> va /. vb)
+  | Ast.Select (p, a, b) ->
+    if truthy (eval_expr st ~scalars ~iter p) then eval_expr st ~scalars ~iter a
+    else eval_expr st ~scalars ~iter b
+
+let rec eval_expr_with ~read ~scalars (e : Ast.expr) =
+  match e with
+  | Ast.Int k -> float_of_int k
+  | Ast.Scalar s -> scalars s
+  | Ast.Ref { array; offset } -> read array offset
+  | Ast.Neg e -> -.eval_expr_with ~read ~scalars e
+  | Ast.Binop (op, a, b) ->
+    let va = eval_expr_with ~read ~scalars a and vb = eval_expr_with ~read ~scalars b in
+    (match op with
+    | Ast.Add -> va +. vb
+    | Ast.Sub -> va -. vb
+    | Ast.Mul -> va *. vb
+    | Ast.Div -> va /. vb)
+  | Ast.Select (p, a, b) ->
+    if truthy (eval_expr_with ~read ~scalars p) then eval_expr_with ~read ~scalars a
+    else eval_expr_with ~read ~scalars b
+
+let run ?init:init_fn ?(scalars = default_scalar) (loop : Ast.loop) ~iterations =
+  if iterations < 0 then invalid_arg "Interp.run: negative iterations";
+  let st = create_store ?init:init_fn () in
+  let rec exec_stmt ~iter = function
+    | Ast.Assign { array; offset; rhs } ->
+      let v = eval_expr st ~scalars ~iter rhs in
+      write_idx st array (cell_index array ~iter ~offset) v
+    | Ast.If { cond; then_; else_ } ->
+      let branch = if truthy (eval_expr st ~scalars ~iter cond) then then_ else else_ in
+      List.iter (exec_stmt ~iter) branch
+  in
+  for i = 0 to iterations - 1 do
+    List.iter (exec_stmt ~iter:i) loop.Ast.body
+  done;
+  st

@@ -1,0 +1,64 @@
+(** Reference interpreter: sequential semantics of the mini language.
+
+    The gold standard the parallel execution is checked against
+    ({!Mimd_sim.Value_exec}): run the loop body statement by statement,
+    iteration by iteration, over concrete float arrays.
+
+    Array cells are addressed by integer index; iteration [i] of the
+    loop maps subscript [i + c] straight to index [i + c] (iterations
+    are numbered from 0 here — the surface syntax's lower bound is
+    symbolic anyway).  Cells never written keep their initial value
+    from the {!init} function, which is also what reads of
+    before-the-loop elements (negative indices included) see.
+
+    Value conventions: predicates are truthy when positive;
+    [select (p, a, b)] is [a] when [p > 0].  Division by zero follows
+    IEEE (infinities/NaN propagate) — the default {!init} avoids zero
+    so deterministic comparisons stay finite. *)
+
+type store
+(** Mutable map from (array name, index) to float. *)
+
+val init : string -> int -> float
+(** Default initial memory: a deterministic, non-zero, array- and
+    index-dependent value in [\[1, 2)]. *)
+
+val default_scalar : string -> float
+(** Default binding for loop-invariant scalars, same recipe. *)
+
+val cell_index : string -> iter:int -> offset:int -> int
+(** The memory index a reference touches at an iteration: [iter +
+    offset], except fixed cells ([X@k]) which always live at index 0.
+    Shared with the value-level parallel executor. *)
+
+val create_store : ?init:(string -> int -> float) -> unit -> store
+val read : store -> string -> int -> float
+val write : store -> string -> int -> float -> unit
+
+val written_cells : store -> (string * int * float) list
+(** Every cell explicitly written, sorted — the loop's observable
+    output. *)
+
+val eval_expr :
+  store -> scalars:(string -> float) -> iter:int -> Ast.expr -> float
+(** Evaluate an expression at iteration [iter] (fixed cells [X@k]
+    read/write index 0 of their synthetic array). *)
+
+val eval_expr_with :
+  read:(string -> int -> float) -> scalars:(string -> float) -> Ast.expr -> float
+(** Same arithmetic with a caller-supplied resolver: [read array
+    offset] supplies each reference's value.  Used by the value-level
+    parallel executor, whose operands come from messages rather than a
+    flat memory. *)
+
+val run :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  Ast.loop ->
+  iterations:int ->
+  store
+(** Execute the (flat or structured) loop sequentially.  Structured
+    conditionals use the same truthiness as [select], so running the
+    original loop and its if-converted form produce identical stores
+    (test-enforced).  [scalars] defaults to hashing the name into
+    [\[1, 2)]. *)

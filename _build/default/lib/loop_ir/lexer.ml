@@ -1,0 +1,107 @@
+type token =
+  | FOR
+  | IF
+  | ELSE
+  | TO
+  | IDENT of string
+  | INT of int
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQUALS
+  | SEMI
+  | EOF
+
+exception Error of { position : int; message : string }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "for" -> Some FOR
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "to" -> Some TO
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '#' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      match keyword word with Some t -> push t | None -> push (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      push (INT (int_of_string (String.sub src start (!pos - start))))
+    end
+    else begin
+      (match c with
+      | '[' -> push LBRACKET
+      | ']' -> push RBRACKET
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | '+' -> push PLUS
+      | '-' -> push MINUS
+      | '*' -> push STAR
+      | '/' -> push SLASH
+      | '=' -> push EQUALS
+      | ';' -> push SEMI
+      | c ->
+        raise (Error { position = !pos; message = Printf.sprintf "unexpected character %C" c }));
+      incr pos
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let pp_token ppf t =
+  let s =
+    match t with
+    | FOR -> "for"
+    | IF -> "if"
+    | ELSE -> "else"
+    | TO -> "to"
+    | IDENT s -> Printf.sprintf "ident(%s)" s
+    | INT k -> Printf.sprintf "int(%d)" k
+    | LBRACKET -> "["
+    | RBRACKET -> "]"
+    | LBRACE -> "{"
+    | RBRACE -> "}"
+    | LPAREN -> "("
+    | RPAREN -> ")"
+    | PLUS -> "+"
+    | MINUS -> "-"
+    | STAR -> "*"
+    | SLASH -> "/"
+    | EQUALS -> "="
+    | SEMI -> ";"
+    | EOF -> "<eof>"
+  in
+  Format.pp_print_string ppf s

@@ -1,0 +1,30 @@
+(** Tokenizer for the mini loop language. *)
+
+type token =
+  | FOR
+  | IF
+  | ELSE
+  | TO
+  | IDENT of string
+  | INT of int
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQUALS
+  | SEMI
+  | EOF
+
+exception Error of { position : int; message : string }
+
+val tokenize : string -> token list
+(** Whole-input tokenization.  Comments run from [#] to end of line.
+    @raise Error on an unexpected character. *)
+
+val pp_token : Format.formatter -> token -> unit

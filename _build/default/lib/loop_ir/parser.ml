@@ -1,0 +1,169 @@
+exception Error of string
+
+type state = { mutable tokens : Lexer.token list; mutable index_var : string }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail "expected %s but found %a" what Lexer.pp_token (peek st)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected %s but found %a" what Lexer.pp_token t
+
+(* index ::= ident (("+"|"-") int)? | int.  A plain-int subscript is a
+   loop-invariant cell: offset is irrelevant for cross-iteration
+   analysis, so it is modelled as offset 0 with a synthetic name. *)
+let parse_index st array =
+  match peek st with
+  | Lexer.INT k ->
+    advance st;
+    (Printf.sprintf "%s@%d" array k, 0)
+  | Lexer.IDENT v ->
+    advance st;
+    if v <> st.index_var then fail "subscript uses %s but the loop index is %s" v st.index_var;
+    let offset =
+      match peek st with
+      | Lexer.PLUS -> begin
+        advance st;
+        match peek st with
+        | Lexer.INT k ->
+          advance st;
+          k
+        | t -> fail "expected integer after '+' in subscript, found %a" Lexer.pp_token t
+      end
+      | Lexer.MINUS -> begin
+        advance st;
+        match peek st with
+        | Lexer.INT k ->
+          advance st;
+          -k
+        | t -> fail "expected integer after '-' in subscript, found %a" Lexer.pp_token t
+      end
+      | _ -> 0
+    in
+    (array, offset)
+  | t -> fail "expected subscript, found %a" Lexer.pp_token t
+
+let rec parse_expr st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, parse_factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek st with
+  | Lexer.INT k ->
+    advance st;
+    Ast.Int k
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Neg (parse_factor st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.IDENT name -> begin
+    advance st;
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let array, offset = parse_index st name in
+      expect st Lexer.RBRACKET "']'";
+      Ast.Ref { array; offset }
+    | _ -> Ast.Scalar name
+  end
+  | t -> fail "expected expression, found %a" Lexer.pp_token t
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.IF ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after if";
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN "')' after condition";
+    let then_ = parse_block st in
+    let else_ =
+      if peek st = Lexer.ELSE then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    Ast.If { cond; then_; else_ }
+  | Lexer.IDENT array ->
+    advance st;
+    expect st Lexer.LBRACKET "'[' after array name";
+    let array, offset = parse_index st array in
+    expect st Lexer.RBRACKET "']'";
+    expect st Lexer.EQUALS "'='";
+    let rhs = parse_expr st in
+    expect st Lexer.SEMI "';'";
+    Ast.Assign { array; offset; rhs }
+  | t -> fail "expected statement, found %a" Lexer.pp_token t
+
+and parse_block st =
+  expect st Lexer.LBRACE "'{'";
+  let rec stmts acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+let parse_bound st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | Lexer.INT k ->
+    advance st;
+    string_of_int k
+  | t -> fail "expected loop bound, found %a" Lexer.pp_token t
+
+let parse src =
+  let st = { tokens = Lexer.tokenize src; index_var = "" } in
+  expect st Lexer.FOR "'for'";
+  let index = expect_ident st "loop index" in
+  st.index_var <- index;
+  expect st Lexer.EQUALS "'='";
+  let lo = parse_bound st in
+  expect st Lexer.TO "'to'";
+  let hi = parse_bound st in
+  let body = parse_block st in
+  expect st Lexer.EOF "end of input";
+  { Ast.index; lo; hi; body }

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the mini loop language.
+
+    Grammar (usual precedence, [*]/[/] over [+]/[-]):
+    {v
+      loop   ::= "for" ident "=" bound "to" bound "{" stmt* "}"
+      bound  ::= ident | int
+      stmt   ::= ident "[" index "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+      block  ::= "{" stmt* "}"
+      index  ::= ident (("+"|"-") int)? | int
+      expr   ::= term (("+"|"-") term)*
+      term   ::= factor (("*"|"/") factor)*
+      factor ::= ident "[" index "]" | ident | int
+               | "(" expr ")" | "-" factor
+    v}
+
+    Subscripts must use the loop's index variable (plus or minus a
+    constant) or be a plain constant, which is treated as a
+    loop-invariant scalar cell. *)
+
+exception Error of string
+
+val parse : string -> Ast.loop
+(** @raise Error on syntax errors (with a readable message),
+    @raise Lexer.Error on lexical errors. *)

@@ -1,0 +1,1 @@
+lib/machine/fluctuation.ml: Mimd_util Printf

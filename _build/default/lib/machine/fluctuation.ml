@@ -1,0 +1,39 @@
+type model =
+  | Fixed of int
+  | Uniform of { base : int; mm : int; rng : Mimd_util.Prng.t }
+  | Bursty of {
+      base : int;
+      mm : int;
+      burst_len : int;
+      rng : Mimd_util.Prng.t;
+      mutable position : int;
+    }
+
+type t = model
+
+let fixed latency =
+  if latency < 0 then invalid_arg "Fluctuation.fixed: negative latency";
+  Fixed latency
+
+let uniform ~base ~mm ~seed =
+  if mm < 1 then invalid_arg "Fluctuation.uniform: mm < 1";
+  if base < 0 then invalid_arg "Fluctuation.uniform: negative base";
+  Uniform { base; mm; rng = Mimd_util.Prng.create ~seed }
+
+let bursty ~base ~mm ~burst_len ~seed =
+  if mm < 1 then invalid_arg "Fluctuation.bursty: mm < 1";
+  if burst_len < 1 then invalid_arg "Fluctuation.bursty: burst_len < 1";
+  Bursty { base; mm; burst_len; rng = Mimd_util.Prng.create ~seed; position = 0 }
+
+let sample = function
+  | Fixed latency -> latency
+  | Uniform { base; mm; rng } -> base + Mimd_util.Prng.int rng mm
+  | Bursty b ->
+    let in_burst = b.position / b.burst_len mod 2 = 1 in
+    b.position <- b.position + 1;
+    if in_burst then b.base + Mimd_util.Prng.int b.rng b.mm else b.base
+
+let describe = function
+  | Fixed latency -> Printf.sprintf "fixed(%d)" latency
+  | Uniform { base; mm; _ } -> Printf.sprintf "uniform[%d,%d]" base (base + mm - 1)
+  | Bursty b -> Printf.sprintf "bursty[%d,%d]/%d" b.base (b.base + b.mm - 1) b.burst_len

@@ -1,0 +1,30 @@
+(** Run-time communication-latency fluctuation.
+
+    Section 4 of the paper models asynchrony and unstable traffic with
+    a varying factor [mm]: every message's actual latency is drawn
+    uniformly from [\[k, k + mm - 1\]], while schedules were built
+    assuming a fixed [k].  [mm = 1] is the no-fluctuation case;
+    the paper also evaluates mm = 3 ("maximum 67% delay") and
+    mm = 5 ("maximum 130% delay", i.e. the estimate was off by a factor
+    of 2.3). *)
+
+type t
+
+val fixed : int -> t
+(** Every message costs exactly the given latency. *)
+
+val uniform : base:int -> mm:int -> seed:int -> t
+(** Paper model: latency uniform in [\[base, base + mm - 1\]], drawn
+    from a deterministic stream.  @raise Invalid_argument if
+    [mm < 1] or [base < 0]. *)
+
+val bursty : base:int -> mm:int -> burst_len:int -> seed:int -> t
+(** Extension used by the robustness example: alternating calm /
+    congested phases of [burst_len] messages; calm messages cost
+    [base], congested ones are uniform in [\[base, base + mm - 1\]]. *)
+
+val sample : t -> int
+(** Draw the next message latency.  Stateful and deterministic given
+    the constructor's seed. *)
+
+val describe : t -> string

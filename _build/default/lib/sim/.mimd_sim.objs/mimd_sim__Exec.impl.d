@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Hashtbl Links List Mimd_codegen Mimd_ddg Printf String

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Links Mimd_codegen Mimd_core

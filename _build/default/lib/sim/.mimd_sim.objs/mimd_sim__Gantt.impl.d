@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer Bytes Exec List Mimd_codegen Mimd_ddg Printf String

@@ -1,0 +1,1 @@
+lib/sim/links.ml: Hashtbl Mimd_machine Printf Topology

@@ -1,0 +1,1 @@
+lib/sim/value_exec.ml: Array Exec Hashtbl Int64 Links List Mimd_codegen Mimd_ddg Mimd_loop_ir Printf

@@ -1,0 +1,1 @@
+lib/sim/value_exec.mli: Exec Links Mimd_codegen Mimd_loop_ir

@@ -1,0 +1,101 @@
+module Program = Mimd_codegen.Program
+module Graph = Mimd_ddg.Graph
+
+exception Deadlock of string
+
+type event = { time : int; proc : int; instr : Program.instr }
+
+type outcome = {
+  makespan : int;
+  proc_finish : int array;
+  messages : int;
+  comm_cycles : int;
+  busy_cycles : int;
+  trace : event list;
+}
+
+type proc_state = { mutable time : int; mutable todo : Program.instr list }
+
+let run ?(record = false) ~program ~links () =
+  let p = program.Program.processors in
+  let graph = program.Program.graph in
+  let procs = Array.map (fun prog -> { time = 0; todo = prog }) program.Program.programs in
+  (* (node, iter, src, dst) -> arrival time *)
+  let mailbox : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let messages = ref 0 in
+  let comm_cycles = ref 0 in
+  let busy_cycles = ref 0 in
+  let trace = ref [] in
+  let emit time proc instr = if record then trace := { time; proc; instr } :: !trace in
+  (* Advance one processor as far as it can go; returns whether it made
+     any progress. *)
+  let advance j =
+    let st = procs.(j) in
+    let progressed = ref false in
+    let blocked = ref false in
+    while (not !blocked) && st.todo <> [] do
+      match st.todo with
+      | [] -> ()
+      | instr :: rest -> begin
+        match instr with
+        | Program.Compute { node; _ } ->
+          st.time <- st.time + Graph.latency graph node;
+          busy_cycles := !busy_cycles + Graph.latency graph node;
+          st.todo <- rest;
+          progressed := true;
+          emit st.time j instr
+        | Program.Send { tag; dst } ->
+          let l = Links.sample links ~src:j ~dst in
+          Hashtbl.replace mailbox (tag.node, tag.iter, j, dst) (st.time + l);
+          incr messages;
+          comm_cycles := !comm_cycles + l;
+          st.todo <- rest;
+          progressed := true;
+          emit st.time j instr
+        | Program.Recv { tag; src } -> begin
+          match Hashtbl.find_opt mailbox (tag.node, tag.iter, src, j) with
+          | Some arrival ->
+            Hashtbl.remove mailbox (tag.node, tag.iter, src, j);
+            st.time <- max st.time arrival;
+            st.todo <- rest;
+            progressed := true;
+            emit st.time j instr
+          | None -> blocked := true
+        end
+      end
+    done;
+    !progressed
+  in
+  let all_done () = Array.for_all (fun st -> st.todo = []) procs in
+  while not (all_done ()) do
+    let any = ref false in
+    for j = 0 to p - 1 do
+      if advance j then any := true
+    done;
+    if (not !any) && not (all_done ()) then begin
+      let stuck =
+        Array.to_list procs
+        |> List.mapi (fun j st ->
+               match st.todo with
+               | Program.Recv { tag; src } :: _ ->
+                 Printf.sprintf "PE%d waits for %s[%d] from PE%d" j
+                   (Graph.name graph tag.node) tag.iter src
+               | _ -> Printf.sprintf "PE%d" j)
+        |> String.concat "; "
+      in
+      raise (Deadlock stuck)
+    end
+  done;
+  let proc_finish = Array.map (fun st -> st.time) procs in
+  {
+    makespan = Array.fold_left max 0 proc_finish;
+    proc_finish;
+    messages = !messages;
+    comm_cycles = !comm_cycles;
+    busy_cycles = !busy_cycles;
+    trace = List.rev !trace;
+  }
+
+let simulate_schedule ?record ~schedule ~links () =
+  let program = Mimd_codegen.From_schedule.run schedule in
+  run ?record ~program ~links ()

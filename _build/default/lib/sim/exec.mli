@@ -1,0 +1,40 @@
+(** The simulated asynchronous MIMD multiprocessor.
+
+    Each processor executes its program in order.  [Compute] occupies
+    the processor for the node's latency; [Send] is free for the sender
+    (communication is fully overlapped, Section 4) and delivers its
+    message after the link's sampled latency; [Recv] blocks until the
+    named message has arrived.  Processors are otherwise completely
+    asynchronous — there is no global clock alignment, only messages.
+
+    The simulation is execution-order independent: message latencies
+    are drawn per link in send order ({!Links}), and a blocked
+    processor simply retries after others progressed.  A round in which
+    nothing progresses while work remains is a deadlock and raises. *)
+
+exception Deadlock of string
+
+type event = {
+  time : int;  (** cycle at which the instruction completed *)
+  proc : int;
+  instr : Mimd_codegen.Program.instr;
+}
+
+type outcome = {
+  makespan : int;  (** latest completion across processors *)
+  proc_finish : int array;
+  messages : int;  (** total messages delivered *)
+  comm_cycles : int;  (** sum of sampled message latencies *)
+  busy_cycles : int;  (** total compute cycles across processors *)
+  trace : event list;  (** completion order; empty unless [record] *)
+}
+
+val run : ?record:bool -> program:Mimd_codegen.Program.t -> links:Links.t -> unit -> outcome
+(** Execute to completion.  @raise Deadlock when blocked forever (e.g.
+    a recv whose send never happens — {!Mimd_codegen.Program.check}
+    catches most such defects statically). *)
+
+val simulate_schedule :
+  ?record:bool -> schedule:Mimd_core.Schedule.t -> links:Links.t -> unit -> outcome
+(** Convenience: lower the schedule with {!Mimd_codegen.From_schedule}
+    and run it. *)

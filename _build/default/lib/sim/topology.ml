@@ -1,0 +1,44 @@
+type shape = Crossbar | Ring | Mesh of int | Hypercube
+
+let check shape ~processors ~src ~dst =
+  if src < 0 || src >= processors || dst < 0 || dst >= processors then
+    invalid_arg "Topology.hops: processor out of range";
+  if src = dst then invalid_arg "Topology.hops: src = dst";
+  match shape with
+  | Mesh width when width < 1 || processors mod width <> 0 ->
+    invalid_arg "Topology.hops: mesh width must divide processor count"
+  | _ -> ()
+
+let hops shape ~processors ~src ~dst =
+  check shape ~processors ~src ~dst;
+  match shape with
+  | Crossbar -> 1
+  | Ring ->
+    let d = abs (src - dst) in
+    min d (processors - d)
+  | Mesh width ->
+    let r1 = src / width and c1 = src mod width in
+    let r2 = dst / width and c2 = dst mod width in
+    abs (r1 - r2) + abs (c1 - c2)
+  | Hypercube ->
+    let x = src lxor dst in
+    let rec popcount acc x = if x = 0 then acc else popcount (acc + (x land 1)) (x lsr 1) in
+    popcount 0 x
+
+let diameter shape ~processors =
+  if processors <= 1 then 0
+  else begin
+    let best = ref 1 in
+    for src = 0 to processors - 1 do
+      for dst = 0 to processors - 1 do
+        if src <> dst then best := max !best (hops shape ~processors ~src ~dst)
+      done
+    done;
+    !best
+  end
+
+let describe = function
+  | Crossbar -> "crossbar"
+  | Ring -> "ring"
+  | Mesh w -> Printf.sprintf "mesh(width %d)" w
+  | Hypercube -> "hypercube"

@@ -1,0 +1,25 @@
+(** Interconnect topologies (extension beyond the paper).
+
+    The paper assumes a uniform upper-bounded communication cost; real
+    MIMD machines of the era (hypercubes, rings, meshes) have
+    distance-dependent latency.  This module supplies hop counts for
+    the classic shapes so {!Links.topology_aware} can charge
+    [base + per_hop * (hops - 1)] and the robustness experiments can
+    measure how badly a uniform-[k] schedule suffers on a real
+    interconnect. *)
+
+type shape =
+  | Crossbar  (** every pair one hop *)
+  | Ring  (** shortest way around *)
+  | Mesh of int  (** 2-D mesh of the given width, row-major ids *)
+  | Hypercube  (** hops = popcount (src xor dst) *)
+
+val hops : shape -> processors:int -> src:int -> dst:int -> int
+(** Number of hops between two distinct processors, >= 1.
+    @raise Invalid_argument on out-of-range ids, [src = dst], or a
+    mesh width that does not divide the processor count. *)
+
+val diameter : shape -> processors:int -> int
+(** Largest hop count between any two processors. *)
+
+val describe : shape -> string

@@ -1,0 +1,33 @@
+(** Small statistics helpers used by the experiment harnesses. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val mean_array : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float list -> float
+(** Population variance; 0 on lists shorter than 2. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val minimum : float list -> float
+(** Smallest element.  @raise Invalid_argument on empty. *)
+
+val maximum : float list -> float
+(** Largest element.  @raise Invalid_argument on empty. *)
+
+val median : float list -> float
+(** Median (average of the two middle elements for even lengths);
+    @raise Invalid_argument on empty. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method.
+    @raise Invalid_argument on empty or [p] out of range. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val ratio_of_means : float list -> float list -> float
+(** [ratio_of_means xs ys] = mean xs / mean ys; [nan] when mean ys = 0. *)

@@ -1,0 +1,31 @@
+(** ASCII table rendering for the experiment harnesses.
+
+    The bench and CLI executables print paper-shaped tables (e.g. the
+    reproduction of Table 1(a)/(b)); this module centralizes the
+    column-width bookkeeping. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table.  [aligns] defaults to [Right]
+    for every column.  The number of columns is fixed by [header]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from
+    the header's. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell; default 1 decimal, matching the paper's
+    percentage-parallelism tables. *)

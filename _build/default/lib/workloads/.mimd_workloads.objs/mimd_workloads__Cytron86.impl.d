@@ -1,0 +1,1 @@
+lib/workloads/cytron86.ml: Array Mimd_ddg Mimd_machine

@@ -1,0 +1,1 @@
+lib/workloads/cytron86.mli: Mimd_ddg Mimd_machine

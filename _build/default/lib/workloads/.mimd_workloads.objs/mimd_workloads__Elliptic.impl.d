@@ -1,0 +1,1 @@
+lib/workloads/elliptic.ml: Array Mimd_ddg Mimd_machine Printf

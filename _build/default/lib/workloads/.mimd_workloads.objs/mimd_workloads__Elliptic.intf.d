@@ -1,0 +1,1 @@
+lib/workloads/elliptic.mli: Mimd_ddg Mimd_machine

@@ -1,0 +1,1 @@
+lib/workloads/fig1.ml: Hashtbl List Mimd_ddg

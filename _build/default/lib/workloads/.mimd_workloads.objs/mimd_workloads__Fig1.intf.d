@@ -1,0 +1,1 @@
+lib/workloads/fig1.mli: Mimd_ddg

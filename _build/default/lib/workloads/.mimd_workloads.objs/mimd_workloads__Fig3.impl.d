@@ -1,0 +1,1 @@
+lib/workloads/fig3.ml: Hashtbl List Mimd_ddg Mimd_machine

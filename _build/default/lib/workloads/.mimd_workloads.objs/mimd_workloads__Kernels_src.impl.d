@@ -1,0 +1,1 @@
+lib/workloads/kernels_src.ml: Mimd_loop_ir

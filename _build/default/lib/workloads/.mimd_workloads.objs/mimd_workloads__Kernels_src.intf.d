@@ -1,0 +1,1 @@
+lib/workloads/kernels_src.mli: Mimd_ddg

@@ -1,0 +1,1 @@
+lib/workloads/livermore.ml: Mimd_ddg Mimd_machine

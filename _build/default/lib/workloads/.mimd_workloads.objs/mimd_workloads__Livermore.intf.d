@@ -1,0 +1,1 @@
+lib/workloads/livermore.mli: Mimd_ddg Mimd_machine

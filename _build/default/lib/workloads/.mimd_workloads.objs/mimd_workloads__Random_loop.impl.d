@@ -1,0 +1,1 @@
+lib/workloads/random_loop.ml: List Mimd_core Mimd_ddg Mimd_util Printf

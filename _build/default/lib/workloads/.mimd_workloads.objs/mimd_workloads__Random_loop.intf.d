@@ -1,0 +1,1 @@
+lib/workloads/random_loop.mli: Mimd_ddg

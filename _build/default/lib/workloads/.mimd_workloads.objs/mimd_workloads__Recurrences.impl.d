@@ -1,0 +1,1 @@
+lib/workloads/recurrences.ml: Mimd_ddg

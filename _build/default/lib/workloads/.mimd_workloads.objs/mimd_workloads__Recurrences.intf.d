@@ -1,0 +1,1 @@
+lib/workloads/recurrences.mli: Mimd_ddg

@@ -1,0 +1,42 @@
+module Graph = Mimd_ddg.Graph
+
+let graph () =
+  let latencies = [| 2; 1; 1; 3; 2; 3; 2; 1; 2; 1; 1; 2; 1; 1; 2; 1; 1 |] in
+  let names = Array.init 17 string_of_int in
+  let edges =
+    [
+      (* Cyclic recurrence 1 (latency sum 6): 0 -> 1 -> 2 -> 4 -> (next) 0 *)
+      (0, 1, 0);
+      (1, 2, 0);
+      (2, 4, 0);
+      (4, 0, 1);
+      (* Cyclic recurrence 2 (latency sum 6): 3 -> 5 -> (next) 3 *)
+      (3, 5, 0);
+      (5, 3, 1);
+      (* Flow-in DAG (11 nodes, latency sum 15). *)
+      (6, 8, 0);
+      (7, 8, 0);
+      (8, 9, 0);
+      (9, 10, 0);
+      (10, 12, 0);
+      (11, 12, 0);
+      (12, 13, 0);
+      (13, 14, 1);
+      (10, 15, 0);
+      (14, 16, 0);
+      (* Flow-in feeding the Cyclic core. *)
+      (9, 0, 0);
+      (12, 1, 0);
+      (13, 4, 0);
+      (14, 3, 0);
+      (15, 2, 0);
+      (16, 5, 1);
+    ]
+  in
+  Graph.of_arrays ~names ~latencies ~edges ()
+
+let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2
+let expected_cyclic = [ 0; 1; 2; 3; 4; 5 ]
+let expected_flow_in = [ 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ]
+let paper_ours_sp = 72.7
+let paper_doacross_sp = 31.8

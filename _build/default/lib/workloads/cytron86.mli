@@ -1,0 +1,24 @@
+(** The [Cytron86] example of paper Figures 9-10.
+
+    Seventeen nodes, 0-16.  The paper's algorithm classifies nodes
+    6..16 as Flow-in, finds no Flow-out nodes, and leaves the Cyclic
+    subset {0..5}; with k = 2 and two processors the Cyclic pattern has
+    height 6, one processor repeating the two-node recurrence {3, 5}
+    and the other the four-node recurrence {0, 1, 2, 4}.  With the
+    Flow-in subset sized L (its latency, 15 here) and H = 6, algorithm
+    Flow-in-sched takes ceil(L/H) = 3 extra processors and the loop
+    splits into five subloops (Figure 10).  The paper reports 72.7%
+    parallelism against DOACROSS's 31.8%.
+
+    The scanned figure's edges are illegible; this reconstruction keeps
+    every property the paper states and exercises: the exact Flow-in /
+    Cyclic split, no Flow-out, non-uniform latencies, pattern height 6,
+    and 3 Flow-in processors. *)
+
+val graph : unit -> Mimd_ddg.Graph.t
+val machine : Mimd_machine.Config.t
+
+val expected_cyclic : int list
+val expected_flow_in : int list
+val paper_ours_sp : float
+val paper_doacross_sp : float

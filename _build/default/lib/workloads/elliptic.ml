@@ -1,0 +1,78 @@
+module Graph = Mimd_ddg.Graph
+
+let adds = 26
+let muls = 8
+
+let graph () =
+  let b = Graph.builder () in
+  let add name = Graph.add_node b ~latency:1 ~kind:Graph.Add name in
+  let mul name = Graph.add_node b ~latency:2 ~kind:Graph.Mul name in
+  let edge ?(distance = 0) src dst = Graph.add_edge b ~src ~dst ~distance in
+  (* Five filter sections.  Section i: a_i0 sums the global feedback
+     with the section's own state (previous iteration); m_i is the
+     coefficient tap; a_i1 mixes in the neighbouring section's state;
+     a_i2/a_i3 recombine.  state_i = last adder of the section. *)
+  let sections = 5 in
+  let a0 = Array.make sections 0
+  and a1 = Array.make sections 0
+  and a2 = Array.make sections 0
+  and a3 = Array.make sections 0
+  and m = Array.make sections 0 in
+  for i = 0 to sections - 1 do
+    a0.(i) <- add (Printf.sprintf "a%d0" i);
+    m.(i) <- mul (Printf.sprintf "m%d" i);
+    a1.(i) <- add (Printf.sprintf "a%d1" i);
+    a2.(i) <- add (Printf.sprintf "a%d2" i);
+    if i < sections - 1 then a3.(i) <- add (Printf.sprintf "a%d3" i)
+  done;
+  (* Section 4 is one adder shorter; its state is a42. *)
+  a3.(sections - 1) <- a2.(sections - 1);
+  let state i = a3.(i) in
+  (* Global combiners and taps. *)
+  let g0 = add "g0" in
+  let g1 = add "g1" in
+  let g2 = add "g2" in
+  let m5 = mul "m5" in
+  let m6 = mul "m6" in
+  let m7 = mul "m7" in
+  let g3 = add "g3" in
+  let g4 = add "g4" in
+  let g5 = add "g5" in
+  let out = add "out" in
+  for i = 0 to sections - 1 do
+    edge ~distance:1 (state i) a0.(i);
+    edge g0 a0.(i);
+    edge a0.(i) m.(i);
+    edge m.(i) a1.(i);
+    edge ~distance:1 (state ((i + 1) mod sections)) a1.(i);
+    edge a1.(i) a2.(i);
+    edge a0.(i) a2.(i);
+    if i < sections - 1 then begin
+      edge a2.(i) a3.(i);
+      edge m.(i) a3.(i)
+    end
+  done;
+  edge ~distance:1 (state 4) g0;
+  edge ~distance:1 (state 0) g0;
+  edge ~distance:1 (state 1) g1;
+  edge ~distance:1 (state 2) g1;
+  edge g1 g2;
+  edge ~distance:1 (state 3) g2;
+  edge g1 m5;
+  edge g2 m6;
+  edge a2.(2) m7;
+  edge m5 g3;
+  edge m6 g3;
+  edge g3 g4;
+  edge m7 g4;
+  edge g4 g5;
+  edge g0 g5;
+  (* g5 feeds back into the ladder (keeping it Cyclic) and drives the
+     single Flow-out node. *)
+  edge ~distance:1 g5 a0.(0);
+  edge g5 out;
+  Graph.build b
+
+let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2
+let paper_ours_sp = 30.9
+let paper_doacross_sp = 0.0

@@ -1,0 +1,22 @@
+(** Fifth-order elliptic wave filter (paper Figure 12, after
+    [PaKn89]).
+
+    The classic high-level-synthesis benchmark: 34 operations — 26
+    additions (latency 1) and 8 multiplications (latency 2) — arranged
+    around the filter's delay elements, whose feedback makes every node
+    Cyclic except the single output node (the paper: "only node 34 is a
+    non-Cyclic node (a Flow-out node)").  Tight feedback leaves
+    DOACROSS no room at all (paper: Sp = 0), while the pattern-based
+    schedule reaches 30.9% on two processors with k = 2.
+
+    The original benchmark's netlist is not reproducible offline; this
+    reconstruction keeps the published shape: 26 adds + 8 muls, five
+    second-order state feedback loops plus a global feedback path, one
+    Flow-out sink, everything else Cyclic (pinned by the tests). *)
+
+val graph : unit -> Mimd_ddg.Graph.t
+val machine : Mimd_machine.Config.t
+val adds : int
+val muls : int
+val paper_ours_sp : float
+val paper_doacross_sp : float

@@ -1,0 +1,35 @@
+module Graph = Mimd_ddg.Graph
+
+let graph () =
+  let b = Graph.builder () in
+  let ids = Hashtbl.create 12 in
+  List.iter
+    (fun name -> Hashtbl.replace ids name (Graph.add_node b name))
+    [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "I"; "J"; "K"; "L" ];
+  let n name = Hashtbl.find ids name in
+  let edge ?(distance = 0) src dst =
+    Graph.add_edge b ~src:(n src) ~dst:(n dst) ~distance
+  in
+  (* Flow-in DAG feeding the cyclic core. *)
+  edge "A" "C";
+  edge "B" "C";
+  edge "C" "E";
+  edge "D" "F";
+  edge "F" "E";
+  (* Strongly connected subgraph (E, I). *)
+  edge "E" "I";
+  edge ~distance:1 "I" "E";
+  (* K sits between the two cycles: cyclic without being on a cycle. *)
+  edge "I" "K";
+  edge "K" "L";
+  (* Self-dependent singleton (L). *)
+  edge ~distance:1 "L" "L";
+  (* Flow-out tail. *)
+  edge "L" "G";
+  edge "G" "H";
+  edge "I" "J";
+  Graph.build b
+
+let expected_flow_in = [ "A"; "B"; "C"; "D"; "F" ]
+let expected_cyclic = [ "E"; "I"; "K"; "L" ]
+let expected_flow_out = [ "G"; "H"; "J" ]

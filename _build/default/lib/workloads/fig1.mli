@@ -1,0 +1,15 @@
+(** The classification example of paper Figure 1.
+
+    Twelve nodes A-L; the paper states the expected partition: Flow-in
+    = {A, B, C, D, F}, Flow-out = {G, H, J}, Cyclic = {E, I, K, L},
+    with strongly connected subgraphs (E, I) and the self-dependent
+    singleton (L).  The scanned figure's edges are illegible, so the
+    edge set here is a reconstruction chosen to produce exactly that
+    partition and those strongly connected subgraphs (the properties
+    the paper uses the figure for); the test suite pins them. *)
+
+val graph : unit -> Mimd_ddg.Graph.t
+
+val expected_flow_in : string list
+val expected_cyclic : string list
+val expected_flow_out : string list

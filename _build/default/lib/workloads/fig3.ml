@@ -1,0 +1,26 @@
+module Graph = Mimd_ddg.Graph
+
+let graph () =
+  let b = Graph.builder () in
+  let ids = Hashtbl.create 7 in
+  List.iter
+    (fun name -> Hashtbl.replace ids name (Graph.add_node b name))
+    [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ];
+  let n name = Hashtbl.find ids name in
+  let edge ?(distance = 0) src dst = Graph.add_edge b ~src:(n src) ~dst:(n dst) ~distance in
+  (* Recurrence 1: A -> B -> (next) A. *)
+  edge "A" "B";
+  edge ~distance:1 "B" "A";
+  (* Recurrence 2: C -> D -> F -> (next) C. *)
+  edge "C" "D";
+  edge "D" "F";
+  edge ~distance:1 "F" "C";
+  (* E and G hang between the recurrences, Cyclic but not on a cycle:
+     fed by one recurrence, feeding the other across iterations. *)
+  edge "A" "E";
+  edge ~distance:1 "E" "D";
+  edge "D" "G";
+  edge ~distance:1 "G" "B";
+  Graph.build b
+
+let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:1

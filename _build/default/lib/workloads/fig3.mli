@@ -1,0 +1,16 @@
+(** The pattern-emergence example of paper Figure 3.
+
+    A seven-node purely-Cyclic loop (A-G, unit latencies) whose ideal
+    greedy schedule repeats with an iteration difference of 1 — the
+    paper uses it to introduce the notion of pattern, scheduling it on
+    two processors with unit execution and communication time
+    (footnote 5).  The scanned edge list is illegible; this
+    reconstruction is a pair of entangled recurrences covering all
+    seven nodes, so every node is Cyclic and the topological sort
+    interleaves the iterations exactly as in Figure 3(b). *)
+
+val graph : unit -> Mimd_ddg.Graph.t
+
+val machine : Mimd_machine.Config.t
+(** Two processors, k = 1 (both node execution and communication cost
+    one cycle in the figure). *)

@@ -1,0 +1,30 @@
+module Graph = Mimd_ddg.Graph
+
+let graph () =
+  Graph.of_arrays
+    ~names:[| "A"; "B"; "C"; "D"; "E" |]
+    ~latencies:[| 1; 1; 1; 1; 1 |]
+    ~edges:
+      [
+        (0, 0, 1) (* A[i-1] -> A[i] *);
+        (4, 0, 1) (* E[i-1] -> A[i] *);
+        (0, 1, 0) (* A -> B *);
+        (1, 2, 0) (* B -> C *);
+        (3, 3, 1) (* D[i-1] -> D[i] *);
+        (2, 3, 1) (* C[i-1] -> D[i] *);
+        (3, 4, 0) (* D -> E *);
+      ]
+    ()
+
+let source =
+  "for i = 1 to n {\n\
+  \  A[i] = A[i-1] * E[i-1];\n\
+  \  B[i] = A[i];\n\
+  \  C[i] = B[i];\n\
+  \  D[i] = D[i-1] * C[i-1];\n\
+  \  E[i] = D[i];\n\
+   }\n"
+
+let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2
+let paper_ours_sp = 40.0
+let paper_doacross_sp = 0.0

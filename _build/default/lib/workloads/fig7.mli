@@ -1,0 +1,34 @@
+(** The worked example of paper Figure 7.
+
+    The loop (Figure 7(a)):
+    {v
+      FOR I = 1 TO N
+        A: A[I] = A[I-1] * E[I-1]
+        B: B[I] = A[I]
+        C: C[I] = B[I]
+        D: D[I] = D[I-1] * C[I-1]
+        E: E[I] = D[I]
+      ENDFOR
+    v}
+
+    All five nodes are Cyclic (latency vector (1,1,1,1,1)); with two
+    processors and k = 2 the pattern completes one iteration every
+    three cycles, giving 40% parallelism where DOACROSS achieves 0
+    (the (E, A) loop-carried dependence forbids any pipelining even
+    after optimal reordering, paper Figure 8). *)
+
+val graph : unit -> Mimd_ddg.Graph.t
+
+val source : string
+(** The loop in the {!Mimd_loop_ir} surface syntax; parsing and
+    analysing it yields (a graph isomorphic to) {!graph} — the
+    quickstart example and the tests do exactly that. *)
+
+val machine : Mimd_machine.Config.t
+(** Two processors, k = 2. *)
+
+val paper_ours_sp : float
+(** 40.0 — percentage parallelism the paper reports for its method. *)
+
+val paper_doacross_sp : float
+(** 0.0 *)

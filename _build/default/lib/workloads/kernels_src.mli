@@ -1,0 +1,50 @@
+(** Textual kernels: classic non-vectorizable loops in the surface
+    syntax, exercising the whole front end (parse, if-convert, analyse)
+    rather than hand-built graphs.
+
+    Each kernel also runs through the value-level correctness check in
+    the test suite, so these double as fixtures proving the compiler
+    pipeline end-to-end on recognisable numerical code. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  uniform_cost : bool;
+      (** analyse with {!Mimd_loop_ir.Cost.uniform} instead of the
+          weighted model *)
+}
+
+val all : unit -> t list
+
+val ll1_hydro : unit -> t
+(** Livermore 1, hydro fragment — fully parallel (DOALL): the control
+    case where classification finds no Cyclic nodes. *)
+
+val ll5_tridiag : unit -> t
+(** Livermore 5, tri-diagonal elimination: first-order recurrence. *)
+
+val ll11_first_sum : unit -> t
+(** Livermore 11: prefix sum. *)
+
+val ll12_first_diff : unit -> t
+(** Livermore 12, first difference — DOALL with a forward (anti)
+    dependence. *)
+
+val horner : unit -> t
+(** Polynomial evaluation by Horner's rule, coefficient stream:
+    a tight multiply-add recurrence. *)
+
+val newton : unit -> t
+(** Newton iteration for square roots along a data stream. *)
+
+val exp_smooth : unit -> t
+(** Exponentially-weighted moving average with a data-dependent reset
+    (needs if-conversion). *)
+
+val state_space2 : unit -> t
+(** Two-state linear system x' = Ax + Bu: coupled recurrences. *)
+
+val analyze : ?lower:bool -> t -> Mimd_ddg.Graph.t
+(** Parse + if-convert + dependence analysis ([lower] switches to
+    operation-level nodes, default false). *)

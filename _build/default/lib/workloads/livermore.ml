@@ -1,0 +1,96 @@
+module Graph = Mimd_ddg.Graph
+
+let graph () =
+  let b = Graph.builder () in
+  let add ?(latency = 1) ?(kind = Graph.Add) name = Graph.add_node b ~latency ~kind name in
+  let edge ?(distance = 0) src dst = Graph.add_edge b ~src ~dst ~distance in
+  (* Flow-in: read-only plane arithmetic. *)
+  let p1 = add "p1" (* ZP(j-1,k+1)+ZQ(j-1,k+1) *) in
+  let p2 = add "p2" (* ZP(j-1,k)+ZQ(j-1,k) *) in
+  let p3 = add "p3" (* ZP(j,k)+ZQ(j,k) *) in
+  let m1 = add "m1" (* ZM(j-1,k)+ZM(j-1,k+1) *) in
+  let m2 = add "m2" (* ZM(j,k)+ZM(j-1,k) *) in
+  let t1 = add "t1" (* p1 - p2 *) in
+  let t2 = add "t2" (* p2 - p3 *) in
+  let w1 = add ~latency:1 ~kind:Graph.Load "w1" (* s scale factor *) in
+  edge p1 t1;
+  edge p2 t1;
+  edge p2 t2;
+  edge p3 t2;
+  (* Cyclic core: ZA/ZB, ZU/ZV updates, ZR/ZZ updates. *)
+  let r_sum1 = add "r_sum1" (* ZR(j)+ZR(j-1) *) in
+  let za_num = add ~latency:2 ~kind:Graph.Mul "za_num" in
+  let za = add ~latency:2 ~kind:Graph.Div "za" in
+  let r_sum2 = add "r_sum2" (* ZR(j)+ZR(j,k-1) *) in
+  let zb_num = add ~latency:2 ~kind:Graph.Mul "zb_num" in
+  let zb = add ~latency:2 ~kind:Graph.Div "zb" in
+  let dz1 = add "dz1" (* ZZ(j)-ZZ(j+1) *) in
+  let a_term1 = add ~latency:2 ~kind:Graph.Mul "a_term1" in
+  let dz2 = add "dz2" (* ZZ(j)-ZZ(j-1) *) in
+  let a_term2 = add ~latency:2 ~kind:Graph.Mul "a_term2" (* ZA(j-1)*dz2 *) in
+  let a_diff = add "a_diff" in
+  let dz3 = add "dz3" (* ZZ(j)-ZZ(j,k-1) *) in
+  let b_term1 = add ~latency:2 ~kind:Graph.Mul "b_term1" in
+  let dz4 = add "dz4" (* ZZ(j)-ZZ(j,k+1) *) in
+  let b_term2 = add ~latency:2 ~kind:Graph.Mul "b_term2" (* ZB(j,k+1)*dz4 *) in
+  let sum_ab = add "sum_ab" in
+  let sum_all = add "sum_all" in
+  let s_scaled = add ~latency:2 ~kind:Graph.Mul "s_scaled" in
+  let zu_upd = add "zu_upd" in
+  let dr1 = add "dr1" (* ZR(j)-ZR(j-1) *) in
+  let v_term = add ~latency:2 ~kind:Graph.Mul "v_term" in
+  let zv_upd = add "zv_upd" in
+  let zr_upd = add ~latency:2 ~kind:Graph.Mul "zr_upd" (* ZR += T*ZU *) in
+  let zz_upd = add ~latency:2 ~kind:Graph.Mul "zz_upd" (* ZZ += T*ZV *) in
+  (* ZA chain. *)
+  edge ~distance:1 zr_upd r_sum1;
+  edge t1 za_num;
+  edge r_sum1 za_num;
+  edge za_num za;
+  edge m1 za;
+  (* ZB chain. *)
+  edge ~distance:1 zr_upd r_sum2;
+  edge t2 zb_num;
+  edge r_sum2 zb_num;
+  edge zb_num zb;
+  edge m2 zb;
+  (* ZU update. *)
+  edge ~distance:1 zz_upd dz1;
+  edge za a_term1;
+  edge dz1 a_term1;
+  edge ~distance:1 zz_upd dz2;
+  edge ~distance:1 za a_term2;
+  edge dz2 a_term2;
+  edge a_term1 a_diff;
+  edge a_term2 a_diff;
+  edge ~distance:1 zz_upd dz3;
+  edge zb b_term1;
+  edge dz3 b_term1;
+  edge ~distance:1 zz_upd dz4;
+  edge ~distance:1 zb b_term2;
+  edge dz4 b_term2;
+  edge a_diff sum_ab;
+  edge b_term1 sum_ab;
+  edge sum_ab sum_all;
+  edge b_term2 sum_all;
+  edge w1 s_scaled;
+  edge sum_all s_scaled;
+  edge s_scaled zu_upd;
+  edge ~distance:1 zu_upd zu_upd;
+  (* ZV update. *)
+  edge ~distance:1 zr_upd dr1;
+  edge za v_term;
+  edge dr1 v_term;
+  edge v_term zv_upd;
+  edge ~distance:1 zv_upd zv_upd;
+  (* ZR / ZZ updates close the recurrences. *)
+  edge zu_upd zr_upd;
+  edge ~distance:1 zr_upd zr_upd;
+  edge zv_upd zz_upd;
+  edge ~distance:1 zz_upd zz_upd;
+  Graph.build b
+
+let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2
+let flow_in_count = 8
+let paper_ours_sp = 49.4
+let paper_doacross_sp = 12.6

@@ -1,0 +1,26 @@
+(** Livermore Loop 18 — 2-D explicit hydrodynamics (paper Figure 11).
+
+    The paper schedules the 18th Livermore kernel's fused inner loop:
+    a ~30-node dependence graph whose Cyclic core covers all but 8
+    Flow-in nodes, partitioned into two subloops with k = 2 for 49.4%
+    parallelism versus DOACROSS's 12.6%.
+
+    The scanned figure is illegible, so this module reconstructs the
+    graph from the kernel's actual source (statements computing ZA and
+    ZB from pressure/viscosity sums, the ZU/ZV velocity updates, and
+    the ZR/ZZ position updates), decomposed into binary operations:
+
+    - Flow-in (8 nodes): sums and differences over the read-only
+      ZP/ZQ/ZM planes plus the scale-factor load;
+    - Cyclic (24 nodes): everything touching ZR/ZZ/ZU/ZV, whose
+      previous-column (j-1) and previous-sweep accesses close four
+      intertwined distance-1 recurrences.
+
+    Latencies: add/sub 1, multiply 2, divide 2 — the non-uniform
+    latencies the paper's experiments rely on. *)
+
+val graph : unit -> Mimd_ddg.Graph.t
+val machine : Mimd_machine.Config.t
+val flow_in_count : int
+val paper_ours_sp : float
+val paper_doacross_sp : float

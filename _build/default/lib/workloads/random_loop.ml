@@ -1,0 +1,48 @@
+module Graph = Mimd_ddg.Graph
+module Prng = Mimd_util.Prng
+
+type params = {
+  nodes : int;
+  lcds : int;
+  sds : int;
+  min_latency : int;
+  max_latency : int;
+}
+
+let default_params = { nodes = 40; lcds = 20; sds = 20; min_latency = 1; max_latency = 3 }
+
+let generate ?(params = default_params) ~seed () =
+  if params.nodes < 2 then invalid_arg "Random_loop.generate: needs >= 2 nodes";
+  let rng = Prng.create ~seed in
+  let b = Graph.builder () in
+  for i = 0 to params.nodes - 1 do
+    let latency = Prng.int_in rng ~lo:params.min_latency ~hi:params.max_latency in
+    ignore (Graph.add_node b ~latency (Printf.sprintf "n%d" i))
+  done;
+  (* Loop-carried links: any ordered pair, distance 1. *)
+  for _ = 1 to params.lcds do
+    let src = Prng.int rng params.nodes in
+    let dst = Prng.int rng params.nodes in
+    Graph.add_edge b ~src ~dst ~distance:1
+  done;
+  (* Simple links: oriented low id -> high id, keeping the distance-0
+     subgraph acyclic. *)
+  for _ = 1 to params.sds do
+    let a = Prng.int rng params.nodes in
+    let d = 1 + Prng.int rng (params.nodes - 1) in
+    let bnd = a + d in
+    let src, dst = if bnd < params.nodes then (a, bnd) else (bnd - params.nodes, a) in
+    if src <> dst then Graph.add_edge b ~src ~dst ~distance:0
+  done;
+  Graph.build b
+
+let generate_cyclic ?params ~seed () =
+  let g = generate ?params ~seed () in
+  let cls = Mimd_core.Classify.run g in
+  if cls.Mimd_core.Classify.cyclic = [] then None
+  else begin
+    let sub, _, _ = Mimd_core.Classify.cyclic_subgraph g cls in
+    Some sub
+  end
+
+let paper_seeds = List.init 25 (fun i -> i + 1)

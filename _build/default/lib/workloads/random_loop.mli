@@ -1,0 +1,34 @@
+(** The random-loop generator of paper Section 4.
+
+    "First, we fixed the number of nodes in the loop as 40, and the
+    number of loop carried dependences (lcd's) and simple dependences
+    (sd's) at 20 each.  The execution time of each node is randomly
+    chosen from 1 to 3 cycles [...] we generated actual dependence
+    links, 20 for lcd's and another 20 for sd's.  After this was done,
+    we extracted only Cyclic nodes from the graph."
+
+    Simple dependences are drawn between distinct nodes and oriented
+    from the lower to the higher id, so the distance-0 subgraph is a
+    DAG by construction; loop-carried dependences connect any ordered
+    pair at distance 1.  Duplicate links collapse, which is why the
+    paper speaks of "less than or equal to" 20 of each. *)
+
+type params = {
+  nodes : int;  (** default 40 *)
+  lcds : int;  (** default 20 *)
+  sds : int;  (** default 20 *)
+  min_latency : int;  (** default 1 *)
+  max_latency : int;  (** default 3 *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> unit -> Mimd_ddg.Graph.t
+(** The full random loop for one seed (the paper uses seeds 1-25). *)
+
+val generate_cyclic : ?params:params -> seed:int -> unit -> Mimd_ddg.Graph.t option
+(** The extracted Cyclic subgraph, as the paper's experiments use;
+    [None] in the (rare) case the Cyclic subset is empty. *)
+
+val paper_seeds : int list
+(** 1..25 *)

@@ -1,0 +1,139 @@
+module Graph = Mimd_ddg.Graph
+
+type kernel = {
+  name : string;
+  description : string;
+  graph : Mimd_ddg.Graph.t;
+  source : string option;
+}
+
+let ll5 () =
+  let b = Graph.builder () in
+  let load = Graph.add_node b ~latency:1 ~kind:Graph.Load "ld_zy" in
+  let sub = Graph.add_node b ~latency:1 ~kind:Graph.Add "sub" in
+  let mul = Graph.add_node b ~latency:2 ~kind:Graph.Mul "mul" in
+  let st = Graph.add_node b ~latency:1 ~kind:Graph.Store "st_x" in
+  Graph.add_edge b ~src:load ~dst:sub ~distance:0;
+  Graph.add_edge b ~src:mul ~dst:sub ~distance:1 (* x(i-1) *);
+  Graph.add_edge b ~src:sub ~dst:mul ~distance:0;
+  Graph.add_edge b ~src:mul ~dst:st ~distance:0;
+  {
+    name = "ll5";
+    description = "Livermore 5: tri-diagonal elimination, below diagonal";
+    graph = Graph.build b;
+    source = Some "for i = 1 to n {\n  X[i] = Z[i] * (Y[i] - X[i-1]);\n}\n";
+  }
+
+let ll11 () =
+  let b = Graph.builder () in
+  let load = Graph.add_node b ~latency:1 ~kind:Graph.Load "ld_y" in
+  let acc = Graph.add_node b ~latency:1 ~kind:Graph.Add "acc" in
+  let st = Graph.add_node b ~latency:1 ~kind:Graph.Store "st_x" in
+  Graph.add_edge b ~src:load ~dst:acc ~distance:0;
+  Graph.add_edge b ~src:acc ~dst:acc ~distance:1;
+  Graph.add_edge b ~src:acc ~dst:st ~distance:0;
+  {
+    name = "ll11";
+    description = "Livermore 11: first sum (prefix sum recurrence)";
+    graph = Graph.build b;
+    source = Some "for i = 1 to n {\n  X[i] = X[i-1] + Y[i];\n}\n";
+  }
+
+let ll19 () =
+  let b = Graph.builder () in
+  let lsa = Graph.add_node b ~latency:1 ~kind:Graph.Load "ld_sa" in
+  let lsb = Graph.add_node b ~latency:1 ~kind:Graph.Load "ld_sb" in
+  let tap = Graph.add_node b ~latency:2 ~kind:Graph.Mul "stb_tap" in
+  let b5 = Graph.add_node b ~latency:1 ~kind:Graph.Add "b5" in
+  let upd = Graph.add_node b ~latency:1 ~kind:Graph.Add "stb_upd" in
+  Graph.add_edge b ~src:lsb ~dst:tap ~distance:0;
+  Graph.add_edge b ~src:upd ~dst:tap ~distance:1 (* stb5 from previous trip *);
+  Graph.add_edge b ~src:lsa ~dst:b5 ~distance:0;
+  Graph.add_edge b ~src:tap ~dst:b5 ~distance:0;
+  Graph.add_edge b ~src:b5 ~dst:upd ~distance:0;
+  Graph.add_edge b ~src:upd ~dst:upd ~distance:1;
+  {
+    name = "ll19";
+    description = "Livermore 19: general linear recurrence equations";
+    graph = Graph.build b;
+    source = None;
+  }
+
+let ll23 () =
+  let b = Graph.builder () in
+  let add ?(latency = 1) ?(kind = Graph.Add) name = Graph.add_node b ~latency ~kind name in
+  let edge ?(distance = 0) src dst = Graph.add_edge b ~src ~dst ~distance in
+  let lqa = add ~kind:Graph.Load "ld_qa" in
+  let up = add "up" (* za(j,k+1) contribution *) in
+  let down = add "down" (* za(j,k-1), previous sweep: distance 1 *) in
+  let left = add "left" (* za(j-1,k): distance 1 *) in
+  let horiz = add "horiz" in
+  let vert = add "vert" in
+  let sum = add "sum" in
+  let scaled = add ~latency:2 ~kind:Graph.Mul "scaled" in
+  let za = add "za_upd" in
+  edge lqa scaled;
+  edge ~distance:1 za down;
+  edge ~distance:1 za left;
+  edge ~distance:1 za up;
+  edge left horiz;
+  edge ~distance:1 za horiz;
+  edge up vert;
+  edge down vert;
+  edge horiz sum;
+  edge vert sum;
+  edge sum scaled;
+  edge scaled za;
+  edge ~distance:1 za za;
+  {
+    name = "ll23";
+    description = "Livermore 23: 2-D implicit hydrodynamics relaxation";
+    graph = Graph.build b;
+    source = None;
+  }
+
+let iir4 () =
+  let b = Graph.builder () in
+  let add ?(latency = 1) ?(kind = Graph.Add) name = Graph.add_node b ~latency ~kind name in
+  let edge ?(distance = 0) src dst = Graph.add_edge b ~src ~dst ~distance in
+  let x = add ~kind:Graph.Load "x" in
+  (* Biquad 1: w1 = x + a1*w1(i-1) + a2*w1(i-2); y1 = w1 + b1*w1(i-1). *)
+  let t11 = add ~latency:2 ~kind:Graph.Mul "t11" in
+  let t12 = add ~latency:2 ~kind:Graph.Mul "t12" in
+  let w1a = add "w1a" in
+  let w1 = add "w1" in
+  let t13 = add ~latency:2 ~kind:Graph.Mul "t13" in
+  let y1 = add "y1" in
+  edge ~distance:1 w1 t11;
+  edge ~distance:2 w1 t12;
+  edge x w1a;
+  edge t11 w1a;
+  edge w1a w1;
+  edge t12 w1;
+  edge ~distance:1 w1 t13;
+  edge w1 y1;
+  edge t13 y1;
+  (* Biquad 2 fed by y1. *)
+  let t21 = add ~latency:2 ~kind:Graph.Mul "t21" in
+  let t22 = add ~latency:2 ~kind:Graph.Mul "t22" in
+  let w2a = add "w2a" in
+  let w2 = add "w2" in
+  let t23 = add ~latency:2 ~kind:Graph.Mul "t23" in
+  let y2 = add "y2" in
+  edge ~distance:1 w2 t21;
+  edge ~distance:2 w2 t22;
+  edge y1 w2a;
+  edge t21 w2a;
+  edge w2a w2;
+  edge t22 w2;
+  edge ~distance:1 w2 t23;
+  edge w2 y2;
+  edge t23 y2;
+  {
+    name = "iir4";
+    description = "Fourth-order IIR filter as two cascaded biquads (distances 1 and 2)";
+    graph = Graph.build b;
+    source = None;
+  }
+
+let all () = [ ll5 (); ll11 (); ll19 (); ll23 (); iir4 () ]

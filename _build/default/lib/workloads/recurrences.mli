@@ -1,0 +1,39 @@
+(** Extra recurrence kernels beyond the paper's four examples.
+
+    These exercise the scheduler on well-known non-vectorizable loops
+    and feed the extension experiments (communication-cost sweeps,
+    ablations).  Latencies follow the same cost model as
+    {!Livermore}: add/sub 1, multiply 2, divide 2. *)
+
+type kernel = {
+  name : string;
+  description : string;
+  graph : Mimd_ddg.Graph.t;
+  source : string option;  (** {!Mimd_loop_ir} surface syntax, when the
+                               kernel is expressible in it *)
+}
+
+val ll5 : unit -> kernel
+(** Livermore 5, tri-diagonal elimination:
+    [x(i) = z(i) * (y(i) - x(i-1))] — a single tight first-order
+    recurrence with per-iteration side work. *)
+
+val ll11 : unit -> kernel
+(** Livermore 11, first sum: [x(i) = x(i-1) + y(i)]. *)
+
+val ll19 : unit -> kernel
+(** Livermore 19, general linear recurrence equations (one of the two
+    symmetric halves): [b5(i) = sa(i) + stb5 * sb(i);
+    stb5 = b5(i) - stb5]. *)
+
+val ll23 : unit -> kernel
+(** Livermore 23, 2-D implicit hydrodynamics: the j-direction update
+    [za(j) = za(j) + qa * (za(j-1) - za(j))]-style five-point
+    relaxation, decomposed into binary ops. *)
+
+val iir4 : unit -> kernel
+(** Cascade of two direct-form-II biquads — a small DSP loop with two
+    coupled second-order recurrences (distances 1 and 2; exercises
+    {!Mimd_ddg.Unwind.normalize}). *)
+
+val all : unit -> kernel list

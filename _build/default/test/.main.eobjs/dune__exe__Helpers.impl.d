@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Mimd_core Mimd_ddg Mimd_machine Mimd_workloads Printf QCheck2 QCheck_alcotest String

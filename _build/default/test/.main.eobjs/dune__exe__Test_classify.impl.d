@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array Helpers List Mimd_core Mimd_ddg Mimd_workloads

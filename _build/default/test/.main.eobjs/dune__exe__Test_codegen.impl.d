@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Format Hashtbl Helpers List Mimd_codegen Mimd_core Mimd_ddg Option String

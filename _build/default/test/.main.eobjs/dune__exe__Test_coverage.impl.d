@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Filename Format Helpers In_channel List Mimd_codegen Mimd_core Mimd_ddg Mimd_machine Mimd_sim Mimd_util Mimd_workloads Out_channel String Sys

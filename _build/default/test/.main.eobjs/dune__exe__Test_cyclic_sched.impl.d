@@ -1,0 +1,1 @@
+test/test_cyclic_sched.ml: Alcotest Array Float Helpers List Mimd_codegen Mimd_core Mimd_ddg Mimd_workloads String

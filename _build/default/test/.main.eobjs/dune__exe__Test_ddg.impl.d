@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Helpers Int List Mimd_core Mimd_ddg Mimd_machine Option String

@@ -1,0 +1,1 @@
+test/test_doacross.ml: Alcotest Helpers List Mimd_core Mimd_ddg Mimd_doacross Mimd_workloads

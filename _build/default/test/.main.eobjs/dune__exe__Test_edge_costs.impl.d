@@ -1,0 +1,1 @@
+test/test_edge_costs.ml: Alcotest Helpers List Mimd_core Mimd_ddg Mimd_doacross Mimd_machine Mimd_sim

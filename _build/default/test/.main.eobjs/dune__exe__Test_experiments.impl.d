@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Helpers List Mimd_core Mimd_experiments Mimd_workloads String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Helpers List Mimd_core Mimd_ddg Mimd_doacross Mimd_experiments Mimd_machine Mimd_sim Mimd_workloads String

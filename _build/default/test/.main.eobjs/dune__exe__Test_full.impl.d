@@ -1,0 +1,1 @@
+test/test_full.ml: Alcotest Helpers List Mimd_core Mimd_ddg Mimd_machine Mimd_sim Mimd_workloads String

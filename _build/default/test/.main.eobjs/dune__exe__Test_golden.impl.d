@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Format Helpers List Mimd_codegen Mimd_core Mimd_ddg Mimd_doacross Mimd_experiments Mimd_workloads Printf QCheck2 String

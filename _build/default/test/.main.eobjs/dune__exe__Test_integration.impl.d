@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Helpers List Mimd_core Mimd_experiments Mimd_machine Mimd_workloads Printf String

@@ -1,0 +1,1 @@
+test/test_loop_ir.ml: Alcotest Array Format Helpers List Mimd_core Mimd_ddg Mimd_loop_ir Mimd_workloads

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Helpers List Mimd_core Mimd_ddg Mimd_loop_ir Mimd_workloads

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Helpers List Mimd_codegen Mimd_core Mimd_ddg Mimd_loop_ir Mimd_sim Mimd_workloads String

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Helpers List Mimd_core Mimd_ddg Option String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Hashtbl Helpers List Mimd_codegen Mimd_core Mimd_ddg Mimd_doacross Mimd_sim Mimd_workloads Option Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Array Format Helpers List Mimd_codegen Mimd_core Mimd_doacross Mimd_loop_ir Mimd_sim Mimd_workloads Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers List Mimd_core Mimd_ddg Mimd_loop_ir Mimd_workloads

@@ -1,0 +1,78 @@
+(* Shared test helpers: graph builders, generators, common checks. *)
+
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+module Schedule = Mimd_core.Schedule
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let graph_of ~latencies ~edges = Graph.of_arrays ~latencies ~edges ()
+
+(* The Figure 7 loop, used all over. *)
+let fig7 () = Mimd_workloads.Fig7.graph ()
+
+let machine ?(p = 2) ?(k = 2) () = Config.make ~processors:p ~comm_estimate:k
+
+(* A single self-recurrence: the smallest Cyclic graph. *)
+let self_loop ?(latency = 1) () =
+  graph_of ~latencies:[| latency |] ~edges:[ (0, 0, 1) ]
+
+(* Two-node cycle A -> B -> (next) A. *)
+let two_cycle () = graph_of ~latencies:[| 1; 1 |] ~edges:[ (0, 1, 0); (1, 0, 1) ]
+
+let assert_valid ?closed sched =
+  match Schedule.validate ?closed sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "schedule invalid: %s" e
+
+(* QCheck generator: a random connected loop whose distance-0 subgraph
+   is acyclic and in which every node has a predecessor (a backbone
+   cycle through all nodes guarantees both solve preconditions). *)
+let gen_cyclic_graph =
+  QCheck2.Gen.(
+    let* n = int_range 2 10 in
+    let* latencies = array_size (return n) (int_range 1 3) in
+    let* extra_sd =
+      list_size (int_range 0 (2 * n))
+        (let* a = int_range 0 (n - 2) in
+         let* b = int_range (a + 1) (n - 1) in
+         return (a, b, 0))
+    in
+    let* extra_lcd =
+      list_size (int_range 0 n)
+        (let* a = int_range 0 (n - 1) in
+         let* b = int_range 0 (n - 1) in
+         return (a, b, 1))
+    in
+    let backbone = List.init (n - 1) (fun i -> (i, i + 1, 0)) @ [ (n - 1, 0, 1) ] in
+    return (latencies, backbone @ extra_sd @ extra_lcd))
+
+let build_cyclic (latencies, edges) = graph_of ~latencies ~edges
+
+let print_graph_spec (latencies, edges) =
+  Printf.sprintf "lat=[%s] edges=[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int latencies)))
+    (String.concat ";" (List.map (fun (a, b, d) -> Printf.sprintf "(%d,%d,%d)" a b d) edges))
+
+(* Arbitrary (possibly disconnected, any-distance) graph for the
+   classification and graph-algorithm properties. *)
+let gen_any_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    let* latencies = array_size (return n) (int_range 1 3) in
+    let* edges =
+      list_size (int_range 0 (3 * n))
+        (let* a = int_range 0 (n - 1) in
+         let* b = int_range 0 (n - 1) in
+         let* d = int_range 0 2 in
+         (* Keep the distance-0 subgraph acyclic: force d >= 1 on
+            non-forward edges. *)
+         if a < b then return (a, b, d) else return (a, b, max 1 d))
+    in
+    return (latencies, edges))
+
+let qtest ?(count = 100) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print gen prop)

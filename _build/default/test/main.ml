@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "mimdloop"
+    [
+      ("util", Test_util.suite);
+      ("ddg", Test_ddg.suite);
+      ("machine", Test_machine.suite);
+      ("classify", Test_classify.suite);
+      ("schedule", Test_schedule.suite);
+      ("cyclic-sched", Test_cyclic_sched.suite);
+      ("full-sched", Test_full.suite);
+      ("doacross", Test_doacross.suite);
+      ("codegen", Test_codegen.suite);
+      ("sim", Test_sim.suite);
+      ("loop-ir", Test_loop_ir.suite);
+      ("lower", Test_lower.suite);
+      ("extensions", Test_extensions.suite);
+      ("workloads", Test_workloads.suite);
+      ("values", Test_values.suite);
+      ("opt", Test_opt.suite);
+      ("experiments", Test_experiments.suite);
+      ("edge-costs", Test_edge_costs.suite);
+      ("golden", Test_golden.suite);
+      ("coverage", Test_coverage.suite);
+      ("theory", Test_theory.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,162 @@
+open Helpers
+module Graph = Mimd_ddg.Graph
+module Classify = Mimd_core.Classify
+
+let names g ids = List.map (Graph.name g) ids
+
+let test_fig1_exact () =
+  (* The paper states the expected partition for Figure 1 verbatim. *)
+  let g = Mimd_workloads.Fig1.graph () in
+  let cls = Classify.run g in
+  check_bool "flow-in" true (names g cls.Classify.flow_in = Mimd_workloads.Fig1.expected_flow_in);
+  check_bool "cyclic" true (names g cls.Classify.cyclic = Mimd_workloads.Fig1.expected_cyclic);
+  check_bool "flow-out" true
+    (names g cls.Classify.flow_out = Mimd_workloads.Fig1.expected_flow_out)
+
+let test_cytron_exact () =
+  let g = Mimd_workloads.Cytron86.graph () in
+  let cls = Classify.run g in
+  check_bool "cyclic {0..5}" true (cls.Classify.cyclic = Mimd_workloads.Cytron86.expected_cyclic);
+  check_bool "flow-in {6..16}" true
+    (cls.Classify.flow_in = Mimd_workloads.Cytron86.expected_flow_in);
+  check_bool "no flow-out" true (cls.Classify.flow_out = [])
+
+let test_all_cyclic () =
+  let cls = Classify.run (fig7 ()) in
+  check_bool "fig7 fully cyclic" true (List.length cls.Classify.cyclic = 5);
+  check_bool "not doall" false (Classify.is_doall cls)
+
+let test_doall () =
+  (* No loop-carried edges at all: pure DOALL. *)
+  let g = graph_of ~latencies:[| 1; 1; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  let cls = Classify.run g in
+  check_bool "doall" true (Classify.is_doall cls);
+  check_int "everything flow-in/out" 0 (List.length cls.Classify.cyclic)
+
+let test_self_loop_cyclic () =
+  let cls = Classify.run (self_loop ()) in
+  check_bool "self loop is cyclic" true (cls.Classify.membership.(0) = Classify.Cyclic)
+
+let test_chain_into_cycle () =
+  (* 0 -> 1 -> 2 <=> 3; 0,1 are Flow-in, 2,3 Cyclic. *)
+  let g =
+    graph_of ~latencies:[| 1; 1; 1; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0); (2, 3, 0); (3, 2, 1) ]
+  in
+  let cls = Classify.run g in
+  check_bool "0 flow-in" true (cls.Classify.membership.(0) = Classify.Flow_in);
+  check_bool "1 flow-in" true (cls.Classify.membership.(1) = Classify.Flow_in);
+  check_bool "2 cyclic" true (cls.Classify.membership.(2) = Classify.Cyclic);
+  check_bool "3 cyclic" true (cls.Classify.membership.(3) = Classify.Cyclic)
+
+let test_chain_out_of_cycle () =
+  let g =
+    graph_of ~latencies:[| 1; 1; 1; 1 |] ~edges:[ (0, 1, 0); (1, 0, 1); (1, 2, 0); (2, 3, 0) ]
+  in
+  let cls = Classify.run g in
+  check_bool "2 flow-out" true (cls.Classify.membership.(2) = Classify.Flow_out);
+  check_bool "3 flow-out" true (cls.Classify.membership.(3) = Classify.Flow_out)
+
+let test_between_cycles_is_cyclic () =
+  (* cycle(0,1) -> 2 -> cycle(3,4): node 2 is Cyclic but on no cycle. *)
+  let g =
+    graph_of ~latencies:[| 1; 1; 1; 1; 1 |]
+      ~edges:[ (0, 1, 0); (1, 0, 1); (1, 2, 0); (2, 3, 0); (3, 4, 0); (4, 3, 1) ]
+  in
+  let cls = Classify.run g in
+  check_bool "middle node cyclic" true (cls.Classify.membership.(2) = Classify.Cyclic)
+
+let test_cyclic_subgraph_mapping () =
+  let g = Mimd_workloads.Fig1.graph () in
+  let cls = Classify.run g in
+  let sub, old_of_new, _ = Classify.cyclic_subgraph g cls in
+  check_int "four cyclic nodes" 4 (Graph.node_count sub);
+  check_bool "names preserved" true
+    (List.sort compare (List.map (fun (n : Graph.node) -> n.name) (Graph.nodes sub))
+    = [ "E"; "I"; "K"; "L" ]);
+  Array.iteri
+    (fun new_id old_id -> check_string "name match" (Graph.name g old_id) (Graph.name sub new_id))
+    old_of_new
+
+let test_every_cyclic_node_has_cyclic_pred () =
+  (* Needed by Cyclic_sched.solve: the Cyclic subgraph has no
+     predecessor-less node. *)
+  List.iter
+    (fun g ->
+      let cls = Classify.run g in
+      if cls.Classify.cyclic <> [] then begin
+        let sub, _, _ = Classify.cyclic_subgraph g cls in
+        for v = 0 to Graph.node_count sub - 1 do
+          check_bool "has pred" true (Graph.preds sub v <> [])
+        done
+      end)
+    [
+      Mimd_workloads.Fig1.graph ();
+      Mimd_workloads.Cytron86.graph ();
+      Mimd_workloads.Livermore.graph ();
+      Mimd_workloads.Elliptic.graph ();
+    ]
+
+let prop_worklist_equals_scc =
+  qtest "Figure-2 worklist == SCC characterisation" gen_any_graph print_graph_spec
+    (fun spec ->
+      let g = build_cyclic spec in
+      Classify.equal (Classify.run g) (Classify.run_via_scc g))
+
+let prop_partition =
+  qtest "subsets partition the nodes" gen_any_graph print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let cls = Classify.run g in
+      List.length cls.Classify.flow_in
+      + List.length cls.Classify.cyclic
+      + List.length cls.Classify.flow_out
+      = Graph.node_count g)
+
+let prop_flow_in_closed_under_preds =
+  qtest "predecessors of Flow-in are Flow-in" gen_any_graph print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let cls = Classify.run g in
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun (e : Graph.edge) -> cls.Classify.membership.(e.src) = Classify.Flow_in)
+            (Graph.preds g v))
+        cls.Classify.flow_in)
+
+let prop_flow_out_closed_under_succs =
+  qtest "successors of Flow-out are Flow-out" gen_any_graph print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let cls = Classify.run g in
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun (e : Graph.edge) -> cls.Classify.membership.(e.dst) = Classify.Flow_out)
+            (Graph.succs g v))
+        cls.Classify.flow_out)
+
+let prop_non_cyclic_acyclic =
+  qtest "cycles only among Cyclic nodes" gen_any_graph print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let cls = Classify.run g in
+      let scc = Mimd_ddg.Scc.run g in
+      List.for_all
+        (fun v -> not (Mimd_ddg.Scc.in_nontrivial scc v))
+        (cls.Classify.flow_in @ cls.Classify.flow_out))
+
+let suite =
+  [
+    Alcotest.test_case "fig1: exact paper partition" `Quick test_fig1_exact;
+    Alcotest.test_case "cytron86: exact paper partition" `Quick test_cytron_exact;
+    Alcotest.test_case "fig7: fully cyclic" `Quick test_all_cyclic;
+    Alcotest.test_case "doall detection" `Quick test_doall;
+    Alcotest.test_case "self loop is cyclic" `Quick test_self_loop_cyclic;
+    Alcotest.test_case "chain feeding a cycle" `Quick test_chain_into_cycle;
+    Alcotest.test_case "chain leaving a cycle" `Quick test_chain_out_of_cycle;
+    Alcotest.test_case "between two cycles" `Quick test_between_cycles_is_cyclic;
+    Alcotest.test_case "cyclic subgraph mapping" `Quick test_cyclic_subgraph_mapping;
+    Alcotest.test_case "cyclic nodes keep a cyclic pred" `Quick test_every_cyclic_node_has_cyclic_pred;
+    prop_worklist_equals_scc;
+    prop_partition;
+    prop_flow_in_closed_under_preds;
+    prop_flow_out_closed_under_succs;
+    prop_non_cyclic_acyclic;
+  ]

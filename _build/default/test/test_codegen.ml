@@ -1,0 +1,213 @@
+open Helpers
+module Graph = Mimd_ddg.Graph
+module Schedule = Mimd_core.Schedule
+module Cyclic_sched = Mimd_core.Cyclic_sched
+module Program = Mimd_codegen.Program
+module From_schedule = Mimd_codegen.From_schedule
+module Rolled = Mimd_codegen.Rolled
+
+let fig7_sched ?(iterations = 20) () =
+  Cyclic_sched.schedule_iterations ~graph:(fig7 ()) ~machine:(machine ()) ~iterations ()
+
+let test_program_well_formed () =
+  let prog = From_schedule.run (fig7_sched ()) in
+  check_bool "no defects" true (Program.check prog = [])
+
+let test_computes_cover_schedule () =
+  let sched = fig7_sched () in
+  let prog = From_schedule.run sched in
+  let total =
+    List.init prog.Program.processors (fun p -> List.length (Program.computes_of prog p))
+    |> List.fold_left ( + ) 0
+  in
+  check_int "one compute per instance" (Schedule.instance_count sched) total
+
+let test_computes_in_program_order () =
+  (* Within a processor, computes appear in schedule start order. *)
+  let sched = fig7_sched () in
+  let prog = From_schedule.run sched in
+  for p = 0 to prog.Program.processors - 1 do
+    let starts =
+      List.map
+        (fun (node, iter) ->
+          (Option.get (Schedule.find sched { node; iter })).Schedule.start)
+        (Program.computes_of prog p)
+    in
+    check_bool "ascending starts" true (List.sort compare starts = starts)
+  done
+
+let test_recv_precedes_use () =
+  (* Every cross-processor operand is received before the compute that
+     needs it. *)
+  let sched = fig7_sched () in
+  let prog = From_schedule.run sched in
+  Array.iter
+    (fun instrs ->
+      let have = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Program.Recv { tag; _ } -> Hashtbl.replace have (tag.Program.node, tag.Program.iter) ()
+          | Program.Compute { node; iter } -> begin
+            Hashtbl.replace have (node, iter) ();
+            List.iter
+              (fun (e : Graph.edge) ->
+                let pi = iter - e.distance in
+                if pi >= 0 then
+                  match Schedule.find sched { node = e.src; iter = pi } with
+                  | Some _ ->
+                    check_bool "operand available locally" true (Hashtbl.mem have (e.src, pi))
+                  | None -> ())
+              (Graph.preds (fig7 ()) node)
+          end
+          | Program.Send _ -> ())
+        instrs)
+    prog.Program.programs
+
+let test_no_messages_single_proc () =
+  let sched =
+    Cyclic_sched.schedule_iterations ~graph:(fig7 ()) ~machine:(machine ~p:1 ()) ~iterations:10 ()
+  in
+  let prog = From_schedule.run sched in
+  Array.iter
+    (fun instrs ->
+      List.iter
+        (function
+          | Program.Send _ | Program.Recv _ -> Alcotest.fail "unexpected message"
+          | Program.Compute _ -> ())
+        instrs)
+    prog.Program.programs
+
+let test_sends_deduplicated () =
+  (* A value consumed twice on the same remote processor is sent once. *)
+  let g = graph_of ~latencies:[| 1; 1; 1 |] ~edges:[ (0, 1, 0); (0, 2, 0); (1, 1, 1); (2, 2, 1); (1, 2, 0) ] in
+  let entries =
+    Schedule.
+      [
+        { inst = { node = 0; iter = 0 }; proc = 0; start = 0 };
+        { inst = { node = 1; iter = 0 }; proc = 1; start = 3 };
+        { inst = { node = 2; iter = 0 }; proc = 1; start = 4 };
+      ]
+  in
+  let sched = Schedule.make ~graph:g ~machine:(machine ()) entries in
+  let prog = From_schedule.run sched in
+  let sends =
+    Array.to_list prog.Program.programs
+    |> List.concat
+    |> List.filter (function Program.Send _ -> true | _ -> false)
+  in
+  check_int "single send" 1 (List.length sends);
+  check_bool "well formed" true (Program.check prog = [])
+
+let test_defect_detection () =
+  let g = fig7 () in
+  let bad =
+    {
+      Program.graph = g;
+      processors = 2;
+      programs =
+        [|
+          [ Program.Recv { tag = { node = 0; iter = 0 }; src = 1 } ];
+          [ Program.Send { tag = { node = 1; iter = 0 }; dst = 0 } ];
+        |];
+    }
+  in
+  let defects = Program.check bad in
+  check_bool "unmatched recv" true
+    (List.exists (function Program.Unmatched_recv _ -> true | _ -> false) defects);
+  check_bool "unmatched send" true
+    (List.exists (function Program.Unmatched_send _ -> true | _ -> false) defects)
+
+let test_self_message_detected () =
+  let bad =
+    {
+      Program.graph = fig7 ();
+      processors = 1;
+      programs = [| [ Program.Send { tag = { node = 0; iter = 0 }; dst = 0 } ] |];
+    }
+  in
+  check_bool "self message" true
+    (List.exists
+       (function Program.Self_message _ -> true | _ -> false)
+       (Program.check bad))
+
+let test_duplicate_compute_detected () =
+  let bad =
+    {
+      Program.graph = fig7 ();
+      processors = 2;
+      programs =
+        [|
+          [ Program.Compute { node = 0; iter = 0 } ];
+          [ Program.Compute { node = 0; iter = 0 } ];
+        |];
+    }
+  in
+  check_bool "duplicate compute" true
+    (List.exists
+       (function Program.Duplicate_compute _ -> true | _ -> false)
+       (Program.check bad))
+
+let test_rolled_renders () =
+  let r = Cyclic_sched.solve ~graph:(fig7 ()) ~machine:(machine ()) () in
+  let s = Rolled.render r.Cyclic_sched.pattern in
+  let contains sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "PARBEGIN" true (contains "PARBEGIN");
+  check_bool "PAREND" true (contains "PAREND");
+  check_bool "steady-state loop" true (contains "FOR i =");
+  check_bool "sends appear" true (contains "SEND");
+  check_bool "recvs appear" true (contains "RECV");
+  check_bool "mentions both PEs" true (contains "PE0:" && contains "PE1:")
+
+let test_rolled_symbolic_step () =
+  let r = Cyclic_sched.solve ~graph:(fig7 ()) ~machine:(machine ()) () in
+  let s = Rolled.render r.Cyclic_sched.pattern in
+  let contains sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* fig7's pattern advances 2 iterations per trip. *)
+  check_bool "step 2" true (contains "(step 2)")
+
+let test_pp_instr () =
+  let names = Graph.name (fig7 ()) in
+  let s =
+    Format.asprintf "%a" (Program.pp_instr ~names) (Program.Compute { node = 0; iter = 3 })
+  in
+  check_string "compute" "A[3]" s;
+  let s2 =
+    Format.asprintf "%a" (Program.pp_instr ~names)
+      (Program.Send { tag = { node = 4; iter = 1 }; dst = 1 })
+  in
+  check_string "send" "SEND E[1] -> PE1" s2
+
+let prop_programs_well_formed =
+  qtest ~count:40 "generated programs are well-formed" gen_cyclic_graph print_graph_spec
+    (fun spec ->
+      let g = build_cyclic spec in
+      let sched =
+        Cyclic_sched.schedule_iterations ~graph:g ~machine:(machine ~p:3 ~k:2 ())
+          ~iterations:10 ()
+      in
+      Program.check (From_schedule.run sched) = [])
+
+let suite =
+  [
+    Alcotest.test_case "programs well-formed" `Quick test_program_well_formed;
+    Alcotest.test_case "computes cover the schedule" `Quick test_computes_cover_schedule;
+    Alcotest.test_case "computes in start order" `Quick test_computes_in_program_order;
+    Alcotest.test_case "recv precedes use" `Quick test_recv_precedes_use;
+    Alcotest.test_case "single PE: no messages" `Quick test_no_messages_single_proc;
+    Alcotest.test_case "sends deduplicated per consumer PE" `Quick test_sends_deduplicated;
+    Alcotest.test_case "defects: unmatched send/recv" `Quick test_defect_detection;
+    Alcotest.test_case "defects: self message" `Quick test_self_message_detected;
+    Alcotest.test_case "defects: duplicate compute" `Quick test_duplicate_compute_detected;
+    Alcotest.test_case "rolled: structure" `Quick test_rolled_renders;
+    Alcotest.test_case "rolled: symbolic step" `Quick test_rolled_symbolic_step;
+    Alcotest.test_case "instr printing" `Quick test_pp_instr;
+    prop_programs_well_formed;
+  ]

@@ -1,0 +1,130 @@
+(* Per-edge communication costs (paper Section 2.3: "each communication
+   edge can have a different cost, but k is the upper bound"). *)
+
+open Helpers
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+module Schedule = Mimd_core.Schedule
+module Cyclic_sched = Mimd_core.Cyclic_sched
+module Pattern = Mimd_core.Pattern
+
+(* Two coupled recurrences where the cross edge is cheap even though
+   k is large. *)
+let cheap_cross_graph () =
+  let b = Graph.builder () in
+  let a = Graph.add_node b "a" in
+  let a' = Graph.add_node b "a2" in
+  let c = Graph.add_node b "c" in
+  let c' = Graph.add_node b "c2" in
+  Graph.add_edge b ~src:a ~dst:a' ~distance:0;
+  Graph.add_edge b ~src:a' ~dst:a ~distance:1;
+  Graph.add_edge b ~src:c ~dst:c' ~distance:0;
+  Graph.add_edge b ~src:c' ~dst:c ~distance:1;
+  (* The only inter-chain edge is free to communicate. *)
+  Graph.add_edge b ~cost:0 ~src:a ~dst:c ~distance:1;
+  Graph.build b
+
+let test_edge_cost_accessor () =
+  let g = cheap_cross_graph () in
+  let machine = Config.make ~processors:2 ~comm_estimate:5 in
+  let costs =
+    List.map (fun (e : Graph.edge) -> Config.edge_cost machine e) (Graph.edges g)
+  in
+  check_bool "one free edge, rest k" true
+    (List.sort compare costs = [ 0; 5; 5; 5; 5 ])
+
+let test_scheduler_exploits_cheap_edge () =
+  (* With the cross edge free, the two chains can sit on different
+     processors at full rate even though k = 5 would forbid it. *)
+  let g = cheap_cross_graph () in
+  let machine = Config.make ~processors:2 ~comm_estimate:5 in
+  let r = Cyclic_sched.solve ~graph:g ~machine () in
+  Alcotest.(check (float 0.001)) "full rate despite huge k" 2.0
+    (Pattern.rate r.Cyclic_sched.pattern);
+  (* Both processors do real work in the pattern. *)
+  let sched = Pattern.expand r.Cyclic_sched.pattern ~iterations:10 in
+  let procs =
+    List.sort_uniq compare
+      (List.map (fun (e : Schedule.entry) -> e.proc) (Schedule.entries sched))
+  in
+  check_int "two processors used" 2 (List.length procs);
+  assert_valid sched
+
+let test_expensive_marked_edge_clamped () =
+  (* A cost override above k clamps down to k (k is the upper bound). *)
+  let b = Graph.builder () in
+  let x = Graph.add_node b "x" in
+  let y = Graph.add_node b "y" in
+  Graph.add_edge b ~cost:100 ~src:x ~dst:y ~distance:0;
+  Graph.add_edge b ~src:y ~dst:x ~distance:1;
+  let g = Graph.build b in
+  let machine = Config.make ~processors:2 ~comm_estimate:3 in
+  let e = List.find (fun (e : Graph.edge) -> e.distance = 0) (Graph.edges g) in
+  check_int "clamped" 3 (Config.edge_cost machine e)
+
+let test_validation_uses_edge_costs () =
+  (* Cross-processor consumer of a free edge may start immediately
+     after the producer finishes. *)
+  let g = cheap_cross_graph () in
+  let machine = Config.make ~processors:2 ~comm_estimate:5 in
+  let entries =
+    Schedule.
+      [
+        { inst = { node = 0; iter = 0 }; proc = 0; start = 0 } (* a *);
+        { inst = { node = 1; iter = 0 }; proc = 0; start = 1 } (* a2 *);
+        { inst = { node = 2; iter = 0 }; proc = 1; start = 0 } (* c *);
+        { inst = { node = 3; iter = 0 }; proc = 1; start = 1 } (* c2 *);
+        (* c of iteration 1 consumes a(0) across processors via the
+           free edge: start 2 is legal only because cost = 0. *)
+        { inst = { node = 0; iter = 1 }; proc = 0; start = 2 };
+        { inst = { node = 1; iter = 1 }; proc = 0; start = 3 };
+        { inst = { node = 2; iter = 1 }; proc = 1; start = 2 };
+        { inst = { node = 3; iter = 1 }; proc = 1; start = 3 };
+      ]
+  in
+  assert_valid (Schedule.make ~graph:g ~machine entries)
+
+let test_doacross_uses_edge_costs () =
+  (* DOACROSS sync on the free edge costs nothing: delay shrinks. *)
+  let b = Graph.builder () in
+  let x = Graph.add_node b "x" in
+  let y = Graph.add_node b "y" in
+  Graph.add_edge b ~src:x ~dst:y ~distance:0;
+  Graph.add_edge b ~cost:0 ~src:y ~dst:x ~distance:1;
+  let g = Graph.build b in
+  let machine = Config.make ~processors:2 ~comm_estimate:4 in
+  let d = Mimd_doacross.Doacross.analyze ~graph:g ~machine () in
+  check_int "free sync delay" 2 d.Mimd_doacross.Doacross.delay
+
+(* ---------------------------------------------------------------- *)
+(* Scale / stress                                                    *)
+
+let test_stress_large_graph () =
+  (* 60-node synthetic structure, 300 iterations, 6 processors: must
+     schedule, validate, and simulate without blowing up. *)
+  let g = Mimd_ddg.Gen.chain_of_cycles ~cycles:20 ~cycle_length:3 () in
+  let machine = Config.make ~processors:6 ~comm_estimate:2 in
+  let sched = Cyclic_sched.schedule_iterations ~graph:g ~machine ~iterations:300 () in
+  check_int "all instances" (60 * 300) (Schedule.instance_count sched);
+  assert_valid sched;
+  let out =
+    Mimd_sim.Exec.simulate_schedule ~schedule:sched ~links:(Mimd_sim.Links.fixed 2) ()
+  in
+  check_bool "simulates" true (out.Mimd_sim.Exec.makespan > 0)
+
+let test_stress_pattern_large () =
+  let g = Mimd_ddg.Gen.coupled_recurrences ~width:16 ~coupling:3 () in
+  let machine = Config.make ~processors:8 ~comm_estimate:2 in
+  let r = Cyclic_sched.solve ~graph:g ~machine () in
+  assert_valid (Pattern.expand r.Cyclic_sched.pattern ~iterations:50)
+
+let suite =
+  [
+    Alcotest.test_case "edge costs: accessor" `Quick test_edge_cost_accessor;
+    Alcotest.test_case "edge costs: scheduler exploits cheap links" `Quick test_scheduler_exploits_cheap_edge;
+    Alcotest.test_case "edge costs: clamped at k" `Quick test_expensive_marked_edge_clamped;
+    Alcotest.test_case "edge costs: validation honours them" `Quick test_validation_uses_edge_costs;
+    Alcotest.test_case "edge costs: doacross sync" `Quick test_doacross_uses_edge_costs;
+    Alcotest.test_case "stress: 18k instances" `Slow test_stress_large_graph;
+    Alcotest.test_case "stress: wide pattern search" `Slow test_stress_pattern_large;
+  ]

@@ -1,0 +1,82 @@
+(* The experiment harness itself: comparison protocol, convergence,
+   exports. *)
+
+open Helpers
+module Compare = Mimd_experiments.Compare
+module Convergence = Mimd_experiments.Convergence
+module Export = Mimd_experiments.Export
+module Table1 = Mimd_experiments.Table1
+
+let test_compare_fields () =
+  let r = Compare.run ~label:"x" ~iterations:50 ~graph:(fig7 ()) ~machine:(machine ()) () in
+  check_int "sequential" 250 r.Compare.sequential;
+  check_int "ours" 150 r.Compare.ours;
+  check_bool "pattern rate present" true (r.Compare.pattern_rate = Some 3.0);
+  Alcotest.(check (float 0.01)) "recurrence bound" 2.5 r.Compare.recurrence_bound
+
+let test_compare_with_dopipe () =
+  let r =
+    Compare.run ~with_dopipe:true ~iterations:20 ~graph:(Mimd_workloads.Cytron86.graph ())
+      ~machine:(machine ()) ()
+  in
+  check_bool "dopipe computed" true (r.Compare.dopipe <> None)
+
+let test_convergence_monotone_tail () =
+  (* Sp approaches its asymptote: the last measurement is within a few
+     points of the one before it. *)
+  let rows =
+    Convergence.measure ~trip_counts:[ 5; 50; 200; 400 ] ~graph:(fig7 ())
+      ~machine:(machine ()) ()
+  in
+  check_int "four rows" 4 (List.length rows);
+  let last = List.nth rows 3 and prev = List.nth rows 2 in
+  check_bool "converged" true
+    (Float.abs (last.Convergence.ours_sp -. prev.Convergence.ours_sp) < 2.0);
+  (* fig7's asymptote is 40. *)
+  check_bool "near 40" true (Float.abs (last.Convergence.ours_sp -. 40.0) < 2.0)
+
+let test_convergence_render () =
+  let rows =
+    Convergence.measure ~trip_counts:[ 5; 10 ] ~graph:(fig7 ()) ~machine:(machine ()) ()
+  in
+  check_bool "renders" true (String.length (Convergence.render ~label:"fig7" rows) > 40)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Export.csv_escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Export.csv_escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Export.csv_escape "a\"b")
+
+let test_schedule_csv () =
+  let sched =
+    Mimd_core.Cyclic_sched.schedule_iterations ~graph:(fig7 ()) ~machine:(machine ())
+      ~iterations:4 ()
+  in
+  let csv = Export.schedule_csv sched in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 20 instances" 21 (List.length lines);
+  check_bool "header" true
+    (List.hd lines = "node,name,iteration,processor,start,finish")
+
+let test_comparison_csv () =
+  let r = Compare.run ~label:"fig,7" ~iterations:10 ~graph:(fig7 ()) ~machine:(machine ()) () in
+  let csv = Export.comparison_csv [ r ] in
+  check_bool "label quoted" true
+    (String.split_on_char '\n' csv |> List.exists (fun l -> String.length l > 0 && l.[0] = '"'))
+
+let test_table1_csv () =
+  let rows, _ = Table1.run ~iterations:30 ~seeds:(Table1.select_seeds ~count:3 ()) () in
+  let csv = Export.table1_csv rows in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 3 rows" 4 (List.length lines)
+
+let suite =
+  [
+    Alcotest.test_case "compare: fields" `Quick test_compare_fields;
+    Alcotest.test_case "compare: dopipe option" `Quick test_compare_with_dopipe;
+    Alcotest.test_case "convergence: approaches asymptote" `Quick test_convergence_monotone_tail;
+    Alcotest.test_case "convergence: render" `Quick test_convergence_render;
+    Alcotest.test_case "export: csv escaping" `Quick test_csv_escape;
+    Alcotest.test_case "export: schedule csv" `Quick test_schedule_csv;
+    Alcotest.test_case "export: comparison csv" `Quick test_comparison_csv;
+    Alcotest.test_case "export: table1 csv" `Quick test_table1_csv;
+  ]

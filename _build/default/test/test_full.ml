@@ -1,0 +1,212 @@
+open Helpers
+module Graph = Mimd_ddg.Graph
+module Schedule = Mimd_core.Schedule
+module Flow_sched = Mimd_core.Flow_sched
+module Full_sched = Mimd_core.Full_sched
+module Classify = Mimd_core.Classify
+
+(* ---------------------------------------------------------------- *)
+(* Flow_sched primitives                                             *)
+
+let test_processors_needed () =
+  (* The paper's Cytron86 numbers: L = 15, H = 6 -> 3 processors. *)
+  check_int "paper case" 3 (Flow_sched.processors_needed ~subset_latency:15 ~height:6 ~iter_shift:1);
+  check_int "exact fit" 2 (Flow_sched.processors_needed ~subset_latency:12 ~height:6 ~iter_shift:1);
+  check_int "empty subset" 0 (Flow_sched.processors_needed ~subset_latency:0 ~height:6 ~iter_shift:1);
+  check_int "iter shift scales" 5
+    (Flow_sched.processors_needed ~subset_latency:15 ~height:6 ~iter_shift:2)
+
+let test_flow_in_round_robin () =
+  (* Three flow-in chains of one node each over 2 processors. *)
+  let g = graph_of ~latencies:[| 1; 1; 1 |] ~edges:[] in
+  let entries =
+    Flow_sched.flow_in_entries ~graph:g ~machine:(machine ()) ~flow_in:[ 0; 1; 2 ] ~procs:2
+      ~base_proc:5 ~iterations:4
+  in
+  check_int "all placed" 12 (List.length entries);
+  List.iter
+    (fun (e : Schedule.entry) ->
+      check_int "round robin" (5 + (e.inst.iter mod 2)) e.proc)
+    entries
+
+let test_flow_in_respects_deps () =
+  (* 0 -> 1 (distance 1) inside the flow-in set, landing on different
+     processors: iteration i of node 1 waits for iteration i-1 of node
+     0 plus communication. *)
+  let g = graph_of ~latencies:[| 2; 1 |] ~edges:[ (0, 1, 1) ] in
+  let entries =
+    Flow_sched.flow_in_entries ~graph:g ~machine:(machine ~k:2 ()) ~flow_in:[ 0; 1 ]
+      ~procs:2 ~base_proc:0 ~iterations:6
+  in
+  let find n i =
+    List.find (fun (e : Schedule.entry) -> e.inst.node = n && e.inst.iter = i) entries
+  in
+  for i = 1 to 5 do
+    let producer = find 0 (i - 1) and consumer = find 1 i in
+    let comm = if producer.proc = consumer.proc then 0 else 2 in
+    check_bool "waits for data" true (consumer.start >= producer.start + 2 + comm)
+  done
+
+let test_required_shift_zero_when_independent () =
+  let g = graph_of ~latencies:[| 1; 1 |] ~edges:[ (1, 1, 1) ] in
+  let shift =
+    Flow_sched.required_shift ~graph:g ~machine:(machine ()) ~flow_entry:(fun _ -> None)
+      ~consumers:[ Schedule.{ inst = { node = 1; iter = 0 }; proc = 0; start = 0 } ]
+  in
+  check_int "no flow producers" 0 shift
+
+let test_required_shift_positive () =
+  (* Flow-in node 0 finishes at 3 on PE9; cyclic consumer starts at 0
+     on PE0, needing 3 + k(2) = 5 more cycles of delay. *)
+  let g = graph_of ~latencies:[| 3; 1 |] ~edges:[ (0, 1, 0); (1, 1, 1) ] in
+  let flow_entry (inst : Schedule.instance) =
+    if inst.node = 0 then Some Schedule.{ inst; proc = 9; start = 0 } else None
+  in
+  let machine = Mimd_machine.Config.make ~processors:10 ~comm_estimate:2 in
+  let shift =
+    Flow_sched.required_shift ~graph:g ~machine ~flow_entry
+      ~consumers:[ Schedule.{ inst = { node = 1; iter = 0 }; proc = 0; start = 0 } ]
+  in
+  check_int "shift = finish + comm" 5 shift
+
+(* ---------------------------------------------------------------- *)
+(* Full_sched                                                        *)
+
+let cytron_graph () = Mimd_workloads.Cytron86.graph ()
+
+let test_full_cytron_shape () =
+  (* The paper: Cyclic pattern height 6, ceil(15/6) = 3 Flow-in
+     processors, 5 subloops total. *)
+  let full =
+    Full_sched.run ~strategy:Full_sched.Separate ~graph:(cytron_graph ())
+      ~machine:Mimd_workloads.Cytron86.machine ~iterations:40 ()
+  in
+  check_int "cyclic procs" 2 full.Full_sched.cyclic_processors;
+  check_int "flow-in procs (paper: 3)" 3 full.Full_sched.flow_in_processors;
+  check_int "flow-out procs" 0 full.Full_sched.flow_out_processors;
+  check_int "five subloops" 5 (Full_sched.total_processors full);
+  (match full.Full_sched.pattern with
+  | Some p -> check_int "pattern height 6" 6 p.Mimd_core.Pattern.height
+  | None -> Alcotest.fail "expected a pattern");
+  assert_valid full.Full_sched.schedule
+
+let test_full_all_instances_scheduled () =
+  let g = cytron_graph () in
+  let full =
+    Full_sched.run ~strategy:Full_sched.Separate ~graph:g
+      ~machine:Mimd_workloads.Cytron86.machine ~iterations:25 ()
+  in
+  check_int "every instance placed" (Graph.node_count g * 25)
+    (Schedule.instance_count full.Full_sched.schedule)
+
+let test_full_folded_uses_core_procs_only () =
+  let full =
+    Full_sched.run ~strategy:Full_sched.Folded ~graph:(cytron_graph ())
+      ~machine:Mimd_workloads.Cytron86.machine ~iterations:25 ()
+  in
+  check_bool "folded" true full.Full_sched.folded;
+  check_int "no extra procs" 2 (Full_sched.total_processors full);
+  assert_valid full.Full_sched.schedule
+
+let test_full_auto_picks_reasonably () =
+  let g = cytron_graph () in
+  let machine = Mimd_workloads.Cytron86.machine in
+  let auto = Full_sched.run ~graph:g ~machine ~iterations:25 () in
+  let sep = Full_sched.run ~strategy:Full_sched.Separate ~graph:g ~machine ~iterations:25 () in
+  let fold = Full_sched.run ~strategy:Full_sched.Folded ~graph:g ~machine ~iterations:25 () in
+  let best = min (Full_sched.parallel_time sep) (Full_sched.parallel_time fold) in
+  check_bool "auto within tolerance of best" true
+    (float_of_int (Full_sched.parallel_time auto) <= (1.05 *. float_of_int best) +. 1.0)
+
+let test_full_doall () =
+  let g = graph_of ~latencies:[| 1; 1 |] ~edges:[ (0, 1, 0) ] in
+  let full = Full_sched.run ~graph:g ~machine:(machine ()) ~iterations:10 () in
+  check_bool "no pattern for DOALL" true (full.Full_sched.pattern = None);
+  check_int "all scheduled" 20 (Schedule.instance_count full.Full_sched.schedule);
+  assert_valid full.Full_sched.schedule
+
+let test_full_normalizes_distances () =
+  (* Distance-2 recurrence: Full_sched must unwind transparently. *)
+  let g = graph_of ~latencies:[| 1; 1 |] ~edges:[ (0, 1, 0); (1, 0, 2) ] in
+  let full = Full_sched.run ~graph:g ~machine:(machine ()) ~iterations:10 () in
+  (* 10 original iterations = 5 unwound ones, 4 nodes each. *)
+  check_int "unwound instances" 20 (Schedule.instance_count full.Full_sched.schedule);
+  assert_valid full.Full_sched.schedule
+
+let test_full_rejects_zero_iterations () =
+  check_bool "rejects" true
+    (match Full_sched.run ~graph:(fig7 ()) ~machine:(machine ()) ~iterations:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_full_flow_out_scheduled_after_producers () =
+  (* ll5 has a Flow-out store: check it never starts before its
+     producer plus communication. *)
+  let k = (Mimd_workloads.Recurrences.ll5 ()).Mimd_workloads.Recurrences.graph in
+  let full = Full_sched.run ~strategy:Full_sched.Separate ~graph:k ~machine:(machine ()) ~iterations:20 () in
+  assert_valid full.Full_sched.schedule
+
+let test_full_startup_shift_nonnegative () =
+  List.iter
+    (fun g ->
+      let full = Full_sched.run ~strategy:Full_sched.Separate ~graph:g ~machine:(machine ()) ~iterations:15 () in
+      check_bool "shift >= 0" true (full.Full_sched.startup_shift >= 0);
+      assert_valid full.Full_sched.schedule)
+    [ cytron_graph (); Mimd_workloads.Livermore.graph (); Mimd_workloads.Elliptic.graph () ]
+
+let test_report_mentions_processors () =
+  let full = Full_sched.run ~graph:(fig7 ()) ~machine:(machine ()) ~iterations:10 () in
+  let r = Full_sched.report full in
+  check_bool "non-empty" true (String.length r > 40)
+
+let prop_full_schedules_simulate_without_deadlock =
+  (* The complete pipeline — Cyclic core + Flow processors + startup
+     shift — lowers to programs that run to completion and no slower
+     than the static plan. *)
+  qtest ~count:25 "full schedules simulate cleanly" gen_any_graph print_graph_spec
+    (fun spec ->
+      let g = build_cyclic spec in
+      let full = Full_sched.run ~graph:g ~machine:(machine ~p:2 ~k:2 ()) ~iterations:8 () in
+      let out =
+        Mimd_sim.Exec.simulate_schedule ~schedule:full.Full_sched.schedule
+          ~links:(Mimd_sim.Links.fixed 2) ()
+      in
+      out.Mimd_sim.Exec.makespan <= Schedule.makespan full.Full_sched.schedule)
+
+let test_full_doall_simulates () =
+  let g = graph_of ~latencies:[| 2; 1; 1 |] ~edges:[ (0, 1, 0); (0, 2, 0) ] in
+  let full = Full_sched.run ~graph:g ~machine:(machine ~p:3 ()) ~iterations:12 () in
+  let out =
+    Mimd_sim.Exec.simulate_schedule ~schedule:full.Full_sched.schedule
+      ~links:(Mimd_sim.Links.fixed 2) ()
+  in
+  check_bool "completes" true (out.Mimd_sim.Exec.makespan > 0)
+
+let prop_full_valid_on_random_loops =
+  qtest ~count:25 "full pipeline validates on random full loops" gen_any_graph
+    print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let full = Full_sched.run ~graph:g ~machine:(machine ~p:2 ~k:2 ()) ~iterations:10 () in
+      Schedule.validate full.Full_sched.schedule = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "flow: processors_needed (paper: 3)" `Quick test_processors_needed;
+    Alcotest.test_case "flow: round-robin placement" `Quick test_flow_in_round_robin;
+    Alcotest.test_case "flow: dependences respected" `Quick test_flow_in_respects_deps;
+    Alcotest.test_case "flow: zero shift when independent" `Quick test_required_shift_zero_when_independent;
+    Alcotest.test_case "flow: positive shift computed" `Quick test_required_shift_positive;
+    Alcotest.test_case "full: cytron86 paper shape (5 subloops)" `Quick test_full_cytron_shape;
+    Alcotest.test_case "full: all instances scheduled" `Quick test_full_all_instances_scheduled;
+    Alcotest.test_case "full: folded stays on core procs" `Quick test_full_folded_uses_core_procs_only;
+    Alcotest.test_case "full: auto close to best strategy" `Quick test_full_auto_picks_reasonably;
+    Alcotest.test_case "full: DOALL loops" `Quick test_full_doall;
+    Alcotest.test_case "full: distance > 1 unwound" `Quick test_full_normalizes_distances;
+    Alcotest.test_case "full: rejects 0 iterations" `Quick test_full_rejects_zero_iterations;
+    Alcotest.test_case "full: flow-out after producers" `Quick test_full_flow_out_scheduled_after_producers;
+    Alcotest.test_case "full: startup shift sane" `Quick test_full_startup_shift_nonnegative;
+    Alcotest.test_case "full: report renders" `Quick test_report_mentions_processors;
+    prop_full_valid_on_random_loops;
+    prop_full_schedules_simulate_without_deadlock;
+    Alcotest.test_case "full: DOALL schedules simulate" `Quick test_full_doall_simulates;
+  ]

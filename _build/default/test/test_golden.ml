@@ -1,0 +1,118 @@
+(* Golden snapshots of user-visible output: these pin the exact shape
+   of the artifacts the paper's figures correspond to.  If a change
+   breaks one intentionally, update the expected string. *)
+
+open Helpers
+module Cyclic_sched = Mimd_core.Cyclic_sched
+module Schedule = Mimd_core.Schedule
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_fig1_classification_text () =
+  let g = Mimd_workloads.Fig1.graph () in
+  let cls = Mimd_core.Classify.run g in
+  let text =
+    Format.asprintf "%a" (Mimd_core.Classify.pp ~names:(Mimd_ddg.Graph.name g)) cls
+  in
+  check_string "exact rendering"
+    "Flow-in : {A, B, C, D, F}\nCyclic  : {E, I, K, L}\nFlow-out: {G, H, J}\n" text
+
+let test_fig7_pattern_grid () =
+  let r = Cyclic_sched.solve ~graph:(fig7 ()) ~machine:(machine ()) () in
+  let text = Format.asprintf "%a" Mimd_core.Pattern.pp r.Cyclic_sched.pattern in
+  (* The exact steady state of Figure 7(d): A,B,C then D,E on PE0 while
+     PE1 runs the counterpart half an iteration out of phase. *)
+  List.iter
+    (fun needle -> check_bool needle true (contains text needle))
+    [
+      "height 6 cycle(s)";
+      "2 iteration(s) per repetition";
+      "(3.00 cycles/iter)";
+      "A0   D0";
+      "B0   E0";
+      "D1   A1";
+    ]
+
+let test_fig7_rolled_structure () =
+  let r = Cyclic_sched.solve ~graph:(fig7 ()) ~machine:(machine ()) () in
+  let text = Mimd_codegen.Rolled.render r.Cyclic_sched.pattern in
+  List.iter
+    (fun needle -> check_bool needle true (contains text needle))
+    [
+      "PARBEGIN";
+      "steady state: 2 iteration(s) every 6 cycle(s) per trip";
+      "RECV A[i-1] <- PE1";
+      "SEND A[i] -> PE1";
+      "RECV D[i] <- PE1";
+      "PAREND";
+    ]
+
+let test_doacross_pp () =
+  let d = Mimd_doacross.Doacross.analyze ~graph:(fig7 ()) ~machine:(machine ()) () in
+  check_string "exact rendering"
+    "doacross: order [A; B; C; D; E], body length 5, delay 7 (no overlap: sequential)"
+    (Format.asprintf "%a" Mimd_doacross.Doacross.pp d)
+
+let test_bounds_pp () =
+  let b = Mimd_core.Bounds.compute ~graph:(fig7 ()) ~processors:2 in
+  check_string "exact rendering"
+    "bounds: recurrence 2.50, resource 2.50, span 3 (floor 2.50 c/iter)"
+    (Format.asprintf "%a" Mimd_core.Bounds.pp b)
+
+let test_grid_headers () =
+  let sched =
+    Cyclic_sched.schedule_iterations ~graph:(fig7 ()) ~machine:(machine ()) ~iterations:2 ()
+  in
+  let grid = Schedule.render_grid sched in
+  check_bool "header row" true (contains grid " step ");
+  check_bool "PE columns" true (contains grid "PE0" && contains grid "PE1")
+
+let test_report_deterministic () =
+  (* The report claims byte-for-byte determinism; hold it to a cheaper
+     version of that promise (small trip count). *)
+  let a = Mimd_experiments.Report.generate ~iterations:20 () in
+  let b = Mimd_experiments.Report.generate ~iterations:20 () in
+  check_bool "identical" true (String.equal a b);
+  check_bool "mentions every figure id" true
+    (List.for_all (fun id -> contains a ("### " ^ id))
+       [ "FIG1"; "FIG3"; "FIG7"; "FIG8"; "FIG9-10"; "FIG11"; "FIG12" ])
+
+let prop_heavier_latencies_still_fine =
+  (* Same pipeline invariants with latencies up to 6 and k up to 4. *)
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* latencies = array_size (return n) (int_range 1 6) in
+      let* k = int_range 0 4 in
+      let* extra =
+        list_size (int_range 0 n)
+          (let* a = int_range 0 (n - 1) in
+           let* b = int_range 0 (n - 1) in
+           return (a, b, 1))
+      in
+      let backbone = List.init (n - 1) (fun i -> (i, i + 1, 0)) @ [ (n - 1, 0, 1) ] in
+      return (latencies, backbone @ extra, k))
+  in
+  qtest ~count:50 "heavy latencies: pattern + expansion valid" gen
+    (fun (l, e, k) -> Printf.sprintf "k=%d %s" k (print_graph_spec (l, e)))
+    (fun (latencies, edges, k) ->
+      let g = graph_of ~latencies ~edges in
+      let machine = machine ~p:3 ~k () in
+      let r = Cyclic_sched.solve ~graph:g ~machine () in
+      Schedule.validate (Mimd_core.Pattern.expand r.Cyclic_sched.pattern ~iterations:15)
+      = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "golden: fig1 classification" `Quick test_fig1_classification_text;
+    Alcotest.test_case "golden: fig7 pattern grid" `Quick test_fig7_pattern_grid;
+    Alcotest.test_case "golden: fig7 rolled code" `Quick test_fig7_rolled_structure;
+    Alcotest.test_case "golden: doacross pp" `Quick test_doacross_pp;
+    Alcotest.test_case "golden: bounds pp" `Quick test_bounds_pp;
+    Alcotest.test_case "golden: grid headers" `Quick test_grid_headers;
+    Alcotest.test_case "report: deterministic and complete" `Slow test_report_deterministic;
+    prop_heavier_latencies_still_fine;
+  ]

@@ -1,0 +1,132 @@
+(* End-to-end assertions of the paper's headline results: the shapes
+   every figure and table must show.  Exact cycle counts depend on our
+   reconstructed workloads, so the tests pin the qualitative claims and
+   those quantitative ones the paper states exactly (fig7's 40 vs 0). *)
+
+open Helpers
+module Compare = Mimd_experiments.Compare
+module Table1 = Mimd_experiments.Table1
+module W = Mimd_workloads
+
+let run ?strategy g m = Compare.run ?strategy ~graph:g ~machine:m ()
+
+let test_fig7_exact () =
+  let r = run (W.Fig7.graph ()) W.Fig7.machine in
+  Alcotest.(check (float 0.001)) "ours 40" 40.0 (Compare.ours_sp r);
+  Alcotest.(check (float 0.001)) "doacross 0" 0.0 (Compare.doacross_sp r);
+  (* Simulated execution with exact k reproduces both. *)
+  Alcotest.(check (float 0.001)) "sim ours 40" 40.0 (Compare.ours_sim_sp r);
+  Alcotest.(check (float 0.001)) "sim doacross 0" 0.0 (Compare.doacross_sim_sp r)
+
+let test_cytron_shape () =
+  (* Paper: 72.7 vs 31.8 — both methods extract real parallelism, ours
+     at least 1.4x more. *)
+  let r = run ~strategy:Mimd_core.Full_sched.Separate (W.Cytron86.graph ()) W.Cytron86.machine in
+  check_bool "ours > 60" true (Compare.ours_sp r > 60.0);
+  check_bool "doacross in (20, 60)" true
+    (Compare.doacross_sp r > 20.0 && Compare.doacross_sp r < 60.0);
+  check_bool "ours beats doacross by >= 1.4x" true
+    (Compare.ours_sp r >= 1.4 *. Compare.doacross_sp r)
+
+let test_ll18_shape () =
+  (* Paper: 49.4 vs 12.6. *)
+  let r = run (W.Livermore.graph ()) W.Livermore.machine in
+  check_bool "ours in (40, 70)" true (Compare.ours_sp r > 40.0 && Compare.ours_sp r < 70.0);
+  check_bool "doacross below 35" true (Compare.doacross_sp r < 35.0);
+  check_bool "ours wins >= 1.8x" true (Compare.ours_sp r >= 1.8 *. Compare.doacross_sp r)
+
+let test_ewf_shape () =
+  (* Paper: 30.9 vs 0 — DOACROSS gets exactly nothing. *)
+  let r = run (W.Elliptic.graph ()) W.Elliptic.machine in
+  check_bool "ours in (25, 60)" true (Compare.ours_sp r > 25.0 && Compare.ours_sp r < 60.0);
+  Alcotest.(check (float 0.001)) "doacross exactly 0" 0.0 (Compare.doacross_sp r)
+
+let test_sim_matches_analytic_at_mm1 () =
+  (* With mm = 1 the simulated equals the analytic makespan for our
+     schedules on all worked examples. *)
+  List.iter
+    (fun (name, g, m) ->
+      let r = Compare.run ~label:name ~graph:g ~machine:m () in
+      check_bool (name ^ ": sim <= analytic") true
+        (r.Compare.ours_sim <= r.Compare.ours))
+    [
+      ("fig7", W.Fig7.graph (), W.Fig7.machine);
+      ("cytron86", W.Cytron86.graph (), W.Cytron86.machine);
+      ("ll18", W.Livermore.graph (), W.Livermore.machine);
+      ("ewf", W.Elliptic.graph (), W.Elliptic.machine);
+    ]
+
+let test_table1_shape () =
+  (* Table 1 at 50 iterations: our mean Sp must clearly beat
+     DOACROSS's at every mm (paper: ~3x), and our Sp must
+     degrade gracefully (mm=5 mean within 60% of mm=1 mean). *)
+  let seeds = Table1.select_seeds ~count:25 () in
+  let _, summary = Table1.run ~iterations:50 ~seeds () in
+  Array.iteri
+    (fun i f ->
+      check_bool (Printf.sprintf "factor at mm index %d >= 1.8" i) true (f >= 1.8))
+    summary.Table1.factor;
+  let m1 = summary.Table1.ours_mean.(0) and m5 = summary.Table1.ours_mean.(2) in
+  check_bool "graceful degradation" true (m5 >= 0.6 *. m1);
+  check_bool "doacross degrades faster" true
+    (summary.Table1.doacross_mean.(2) < summary.Table1.doacross_mean.(0))
+
+let test_table1_selects_enough_seeds () =
+  let seeds = Table1.select_seeds ~count:25 () in
+  check_int "25 usable seeds" 25 (List.length seeds)
+
+let test_k_zero_perfect_pipelining_dominates () =
+  (* At k=0 (Perfect Pipelining's assumption), our schedule is at least
+     as good as DOACROSS on every worked example. *)
+  List.iter
+    (fun (name, g) ->
+      let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:0 in
+      let r = Compare.run ~label:name ~graph:g ~machine () in
+      check_bool (name ^ ": ours <= doacross time") true
+        (r.Compare.ours <= r.Compare.doacross))
+    [
+      ("fig7", W.Fig7.graph ());
+      ("cytron86", W.Cytron86.graph ());
+      ("ewf", W.Elliptic.graph ());
+    ]
+
+let test_figures_render () =
+  List.iter
+    (fun (id, text) ->
+      check_bool (id ^ " non-empty") true (String.length text > 50))
+    (Mimd_experiments.Figures.all ())
+
+let test_fig8_text_claims () =
+  let s = Mimd_experiments.Figures.fig8 () in
+  let contains sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "no overlap stated" true (contains "no overlap");
+  check_bool "exhaustive search ran" true (contains "orders tried")
+
+let test_compare_cyclic_only_protocol () =
+  match W.Random_loop.generate_cyclic ~seed:1 () with
+  | None -> Alcotest.fail "seed 1 empty"
+  | Some g ->
+    let machine = Mimd_machine.Config.make ~processors:4 ~comm_estimate:3 in
+    let r = Compare.cyclic_only ~iterations:50 ~graph:g ~machine () in
+    check_bool "sequential > 0" true (r.Compare.sequential > 0);
+    check_bool "ours completes" true (r.Compare.ours > 0);
+    check_bool "sim sane" true (r.Compare.ours_sim > 0)
+
+let suite =
+  [
+    Alcotest.test_case "fig7: exact paper numbers (40 vs 0)" `Quick test_fig7_exact;
+    Alcotest.test_case "cytron86: paper shape" `Quick test_cytron_shape;
+    Alcotest.test_case "ll18: paper shape" `Quick test_ll18_shape;
+    Alcotest.test_case "ewf: paper shape (doacross = 0)" `Quick test_ewf_shape;
+    Alcotest.test_case "sim consistent with analytic at mm=1" `Quick test_sim_matches_analytic_at_mm1;
+    Alcotest.test_case "table 1: shape (factor >= 2, graceful)" `Slow test_table1_shape;
+    Alcotest.test_case "table 1: seed selection" `Quick test_table1_selects_enough_seeds;
+    Alcotest.test_case "k=0 dominates DOACROSS" `Quick test_k_zero_perfect_pipelining_dominates;
+    Alcotest.test_case "all figures render" `Slow test_figures_render;
+    Alcotest.test_case "fig8 text claims" `Quick test_fig8_text_claims;
+    Alcotest.test_case "cyclic-only protocol" `Quick test_compare_cyclic_only_protocol;
+  ]

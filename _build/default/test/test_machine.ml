@@ -1,0 +1,80 @@
+open Helpers
+module Config = Mimd_machine.Config
+module Fluctuation = Mimd_machine.Fluctuation
+
+let test_config_make () =
+  let m = Config.make ~processors:4 ~comm_estimate:3 in
+  check_int "p" 4 m.Config.processors;
+  check_int "k" 3 m.Config.comm_estimate
+
+let test_config_rejects () =
+  Alcotest.check_raises "p<1" (Invalid_argument "Config.make: processors < 1") (fun () ->
+      ignore (Config.make ~processors:0 ~comm_estimate:2));
+  Alcotest.check_raises "k<0" (Invalid_argument "Config.make: negative comm_estimate")
+    (fun () -> ignore (Config.make ~processors:2 ~comm_estimate:(-1)))
+
+let test_config_default () =
+  check_int "default p" 2 Config.default.Config.processors;
+  check_int "default k" 2 Config.default.Config.comm_estimate
+
+let test_fluctuation_fixed () =
+  let f = Fluctuation.fixed 3 in
+  for _ = 1 to 10 do
+    check_int "constant" 3 (Fluctuation.sample f)
+  done
+
+let test_fluctuation_uniform_range () =
+  let f = Fluctuation.uniform ~base:2 ~mm:5 ~seed:1 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let x = Fluctuation.sample f in
+    check_bool "in [2,6]" true (x >= 2 && x <= 6);
+    seen.(x - 2) <- true
+  done;
+  check_bool "covers the range" true (Array.for_all Fun.id seen)
+
+let test_fluctuation_mm1_constant () =
+  let f = Fluctuation.uniform ~base:4 ~mm:1 ~seed:9 in
+  for _ = 1 to 20 do
+    check_int "mm=1 means fixed" 4 (Fluctuation.sample f)
+  done
+
+let test_fluctuation_deterministic () =
+  let a = Fluctuation.uniform ~base:2 ~mm:3 ~seed:5 in
+  let b = Fluctuation.uniform ~base:2 ~mm:3 ~seed:5 in
+  for _ = 1 to 50 do
+    check_int "same stream" (Fluctuation.sample a) (Fluctuation.sample b)
+  done
+
+let test_fluctuation_rejects () =
+  Alcotest.check_raises "mm<1" (Invalid_argument "Fluctuation.uniform: mm < 1") (fun () ->
+      ignore (Fluctuation.uniform ~base:2 ~mm:0 ~seed:0))
+
+let test_fluctuation_bursty () =
+  let f = Fluctuation.bursty ~base:2 ~mm:4 ~burst_len:8 ~seed:3 in
+  (* First burst_len samples are calm. *)
+  for _ = 1 to 8 do
+    check_int "calm phase" 2 (Fluctuation.sample f)
+  done;
+  let congested = List.init 8 (fun _ -> Fluctuation.sample f) in
+  check_bool "congested phase within bounds" true
+    (List.for_all (fun x -> x >= 2 && x <= 5) congested)
+
+let test_fluctuation_describe () =
+  check_string "fixed" "fixed(3)" (Fluctuation.describe (Fluctuation.fixed 3));
+  check_string "uniform" "uniform[2,4]"
+    (Fluctuation.describe (Fluctuation.uniform ~base:2 ~mm:3 ~seed:0))
+
+let suite =
+  [
+    Alcotest.test_case "config: make" `Quick test_config_make;
+    Alcotest.test_case "config: rejects invalid" `Quick test_config_rejects;
+    Alcotest.test_case "config: paper default" `Quick test_config_default;
+    Alcotest.test_case "fluctuation: fixed" `Quick test_fluctuation_fixed;
+    Alcotest.test_case "fluctuation: uniform range" `Quick test_fluctuation_uniform_range;
+    Alcotest.test_case "fluctuation: mm=1 is constant" `Quick test_fluctuation_mm1_constant;
+    Alcotest.test_case "fluctuation: deterministic" `Quick test_fluctuation_deterministic;
+    Alcotest.test_case "fluctuation: rejects mm<1" `Quick test_fluctuation_rejects;
+    Alcotest.test_case "fluctuation: bursty phases" `Quick test_fluctuation_bursty;
+    Alcotest.test_case "fluctuation: describe" `Quick test_fluctuation_describe;
+  ]

@@ -1,0 +1,120 @@
+(* The paper's formal statements (Section 2), checked computationally.
+   Lemmas 4-7 and Theorem 1 are exercised implicitly by every
+   successful+verified pattern detection; here the remaining lemmas and
+   the definitions get direct checks. *)
+
+open Helpers
+module Graph = Mimd_ddg.Graph
+module Scc = Mimd_ddg.Scc
+module Classify = Mimd_core.Classify
+module Cyclic_sched = Mimd_core.Cyclic_sched
+module Pattern = Mimd_core.Pattern
+module Schedule = Mimd_core.Schedule
+
+(* Lemma 1: there is at least one strongly connected subgraph in a
+   Cyclic subset. *)
+let prop_lemma1 =
+  qtest "Lemma 1: Cyclic subsets contain a nontrivial SCC" gen_any_graph print_graph_spec
+    (fun spec ->
+      let g = build_cyclic spec in
+      let cls = Classify.run g in
+      cls.Classify.cyclic = []
+      ||
+      let scc = Scc.run g in
+      List.exists (fun v -> Scc.in_nontrivial scc v) cls.Classify.cyclic)
+
+(* Lemma 2: for a single-Cyclic-subset loop unwound m times, a path of
+   length at least m-1 exists.  (Path length counts edges.) *)
+let longest_path_edges g =
+  (* The unwound graph may still have distance-1 edges; Lemma 2 talks
+     about the unrolled (finite) copies, whose distance-0 subgraph is
+     what holds the path. *)
+  let order = Mimd_ddg.Topo.sort_zero g in
+  let depth = Array.make (Graph.node_count g) 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          if e.distance = 0 then depth.(e.dst) <- max depth.(e.dst) (depth.(v) + 1))
+        (Graph.succs g v))
+    order;
+  Array.fold_left max 0 depth
+
+let prop_lemma2 =
+  qtest ~count:50 "Lemma 2: unwinding m times yields a path of length >= m-1"
+    gen_cyclic_graph print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let m = 5 in
+      let unrolled = Mimd_ddg.Unwind.unroll g ~times:m in
+      longest_path_edges unrolled.Mimd_ddg.Unwind.graph >= m - 1)
+
+(* Definition 2 + Lemma 7, operationally: expanding the detected
+   pattern one extra period reproduces the greedy schedule exactly. *)
+let prop_pattern_reproduces_greedy =
+  qtest ~count:30 "pattern expansion = greedy schedule below the detection point"
+    gen_cyclic_graph print_graph_spec (fun spec ->
+      let g = build_cyclic spec in
+      let machine = machine ~p:2 ~k:2 () in
+      let r = Cyclic_sched.solve ~graph:g ~machine () in
+      let p = r.Cyclic_sched.pattern in
+      (* All greedy-final entries with start below the detection window
+         must appear identically in the expansion. *)
+      let horizon = p.Pattern.window_start + p.Pattern.height in
+      let iters_needed =
+        List.fold_left (fun acc (e : Schedule.entry) -> max acc (e.inst.iter + 1)) 1
+          (p.Pattern.prologue @ p.Pattern.body)
+      in
+      let expanded = Pattern.expand p ~iterations:(iters_needed + (2 * p.Pattern.iter_shift)) in
+      List.for_all
+        (fun (e : Schedule.entry) ->
+          e.start >= horizon
+          ||
+          match Schedule.find expanded e.inst with
+          | Some e' -> e' = e
+          | None -> false)
+        (p.Pattern.prologue @ p.Pattern.body))
+
+(* Footnote 10: any two nodes with a longest path of length l between
+   them are scheduled within (k+1) * l cycles of each other, given
+   sufficient processors.  We check the weaker, machine-checked
+   consequence actually used by Lemma 3: dependent instances stay
+   within a bounded number of cycles. *)
+let test_dependent_instances_bounded () =
+  let g = fig7 () in
+  let machine = machine ~p:4 ~k:2 () in
+  let sched = Cyclic_sched.schedule_iterations ~graph:g ~machine ~iterations:50 () in
+  (* A0 and E0 are joined by a path of length <= 4; their schedule gap
+     must stay below (k+1) * (latency-weighted path) for every
+     iteration. *)
+  let bound = (2 + 1) * 5 in
+  for i = 0 to 49 do
+    let a = Option.get (Schedule.find sched { node = 0; iter = i }) in
+    let e = Option.get (Schedule.find sched { node = 4; iter = i }) in
+    check_bool "same-iteration gap bounded" true (abs (e.start - a.start) <= bound)
+  done
+
+(* The configuration count argument (Lemma 4): over a long final
+   region, the number of DISTINCT canonical configurations is bounded
+   (far smaller than the number of cycles inspected). *)
+let test_configurations_finite () =
+  let g = Mimd_workloads.Elliptic.graph () in
+  let cls = Classify.run g in
+  let core, _, _ = Classify.cyclic_subgraph g cls in
+  let machine = machine () in
+  let r = Cyclic_sched.solve ~graph:core ~machine () in
+  let s = r.Cyclic_sched.stats in
+  (* The search inspected `configurations_checked` windows but stopped
+     at the first repeat: seeing a repeat at all within a modest budget
+     is Lemma 5 in action. *)
+  check_bool "repeat found quickly" true (s.Cyclic_sched.configurations_checked < 500)
+
+let suite =
+  [
+    prop_lemma1;
+    prop_lemma2;
+    prop_pattern_reproduces_greedy;
+    Alcotest.test_case "Lemma 3 ingredient: dependent gaps bounded" `Quick
+      test_dependent_instances_bounded;
+    Alcotest.test_case "Lemmas 4-5: repetition within budget" `Quick
+      test_configurations_finite;
+  ]

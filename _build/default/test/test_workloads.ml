@@ -1,0 +1,169 @@
+open Helpers
+module Graph = Mimd_ddg.Graph
+module Classify = Mimd_core.Classify
+module W = Mimd_workloads
+
+let all_graphs () =
+  [
+    ("fig1", W.Fig1.graph ());
+    ("fig3", W.Fig3.graph ());
+    ("fig7", W.Fig7.graph ());
+    ("cytron86", W.Cytron86.graph ());
+    ("ll18", W.Livermore.graph ());
+    ("ewf", W.Elliptic.graph ());
+  ]
+  @ List.map (fun (k : W.Recurrences.kernel) -> (k.name, k.graph)) (W.Recurrences.all ())
+
+let test_all_connected () =
+  List.iter
+    (fun (name, g) -> check_bool (name ^ " connected") true (Graph.is_connected g))
+    (all_graphs ())
+
+let test_all_zero_acyclic () =
+  List.iter
+    (fun (name, g) ->
+      check_bool (name ^ " body executable") true (Mimd_ddg.Topo.is_zero_acyclic g))
+    (all_graphs ())
+
+let test_fig3_fully_cyclic () =
+  let cls = Classify.run (W.Fig3.graph ()) in
+  check_int "7 cyclic" 7 (List.length cls.Classify.cyclic)
+
+let test_fig7_matches_source () =
+  let a = Mimd_loop_ir.Depend.analyze_string ~cost:Mimd_loop_ir.Cost.uniform W.Fig7.source in
+  let edges g =
+    List.map (fun (e : Graph.edge) -> (e.src, e.dst, e.distance)) (Graph.edges g)
+    |> List.sort compare
+  in
+  check_bool "front end reproduces the workload graph" true
+    (edges a.Mimd_loop_ir.Depend.graph = edges (W.Fig7.graph ()))
+
+let test_cytron_flow_in_latency () =
+  (* L = 15 makes ceil(L/6) = 3, the paper's processor count. *)
+  let g = W.Cytron86.graph () in
+  let cls = Classify.run g in
+  let latency =
+    List.fold_left (fun acc v -> acc + Graph.latency g v) 0 cls.Classify.flow_in
+  in
+  check_int "flow-in latency 15" 15 latency
+
+let test_cytron_recurrence_sums () =
+  let g = W.Cytron86.graph () in
+  (* Both recurrences carry 6 cycles per iteration. *)
+  Alcotest.(check (float 0.01)) "bound 6" 6.0 (Mimd_ddg.Reach.recurrence_bound g)
+
+let test_ll18_flow_in_count () =
+  let cls = Classify.run (W.Livermore.graph ()) in
+  check_int "8 flow-in (paper)" W.Livermore.flow_in_count (List.length cls.Classify.flow_in);
+  check_int "no flow-out" 0 (List.length cls.Classify.flow_out)
+
+let test_ewf_shape () =
+  let g = W.Elliptic.graph () in
+  check_int "34 nodes" 34 (Graph.node_count g);
+  let adds =
+    List.length (List.filter (fun (n : Graph.node) -> n.kind = Graph.Add) (Graph.nodes g))
+  in
+  let muls =
+    List.length (List.filter (fun (n : Graph.node) -> n.kind = Graph.Mul) (Graph.nodes g))
+  in
+  check_int "26 additions" W.Elliptic.adds adds;
+  check_int "8 multiplications" W.Elliptic.muls muls
+
+let test_ewf_single_flow_out () =
+  (* The paper: "only node 34 is a non-Cyclic node (a Flow-out node)". *)
+  let g = W.Elliptic.graph () in
+  let cls = Classify.run g in
+  check_int "no flow-in" 0 (List.length cls.Classify.flow_in);
+  check_int "33 cyclic" 33 (List.length cls.Classify.cyclic);
+  (match cls.Classify.flow_out with
+  | [ v ] -> check_string "the output node" "out" (Graph.name g v)
+  | _ -> Alcotest.fail "expected exactly one Flow-out node")
+
+let test_random_loop_reproducible () =
+  let g1 = W.Random_loop.generate ~seed:5 () in
+  let g2 = W.Random_loop.generate ~seed:5 () in
+  check_bool "same graph" true (Graph.equal_structure g1 g2);
+  let g3 = W.Random_loop.generate ~seed:6 () in
+  check_bool "different seed differs" false (Graph.equal_structure g1 g3)
+
+let test_random_loop_parameters () =
+  let params = W.Random_loop.default_params in
+  check_int "40 nodes" 40 params.W.Random_loop.nodes;
+  let g = W.Random_loop.generate ~seed:1 () in
+  check_int "node count" 40 (Graph.node_count g);
+  check_bool "<= 40 links" true (Graph.edge_count g <= 40);
+  List.iter
+    (fun (n : Graph.node) -> check_bool "latency in [1,3]" true (n.latency >= 1 && n.latency <= 3))
+    (Graph.nodes g);
+  check_bool "distances in {0,1}" true (Graph.max_distance g <= 1);
+  check_bool "sd subgraph acyclic" true (Mimd_ddg.Topo.is_zero_acyclic g)
+
+let test_random_cyclic_extraction () =
+  match W.Random_loop.generate_cyclic ~seed:1 () with
+  | None -> Alcotest.fail "seed 1 should have a cyclic core"
+  | Some sub ->
+    check_bool "smaller than the loop" true (Graph.node_count sub <= 40);
+    (* Every node of a Cyclic subgraph keeps a predecessor. *)
+    for v = 0 to Graph.node_count sub - 1 do
+      check_bool "has pred" true (Graph.preds sub v <> [])
+    done
+
+let test_paper_seeds () =
+  check_int "25 seeds" 25 (List.length W.Random_loop.paper_seeds);
+  check_int "first" 1 (List.hd W.Random_loop.paper_seeds)
+
+let test_recurrences_all_have_recurrences () =
+  List.iter
+    (fun (k : W.Recurrences.kernel) ->
+      check_bool (k.name ^ " loop-carried") true (Graph.has_loop_carried k.graph);
+      check_bool (k.name ^ " has cyclic core") false
+        (Classify.is_doall (Classify.run k.graph)))
+    (W.Recurrences.all ())
+
+let test_iir4_needs_unwinding () =
+  let k = W.Recurrences.iir4 () in
+  check_int "distance 2 present" 2 (Graph.max_distance k.W.Recurrences.graph)
+
+let test_kernel_sources_parse () =
+  List.iter
+    (fun (k : W.Recurrences.kernel) ->
+      match k.source with
+      | None -> ()
+      | Some src ->
+        let a = Mimd_loop_ir.Depend.analyze_string src in
+        check_bool (k.name ^ " source analyses") true
+          (Graph.node_count a.Mimd_loop_ir.Depend.graph > 0))
+    (W.Recurrences.all ())
+
+let test_all_schedulable () =
+  (* Every workload goes through the full pipeline without exceptions
+     and validates. *)
+  List.iter
+    (fun (name, g) ->
+      let full =
+        Mimd_core.Full_sched.run ~graph:g ~machine:(machine ()) ~iterations:10 ()
+      in
+      check_bool (name ^ " validates") true
+        (Mimd_core.Schedule.validate full.Mimd_core.Full_sched.schedule = Ok ()))
+    (all_graphs ())
+
+let suite =
+  [
+    Alcotest.test_case "all workloads connected" `Quick test_all_connected;
+    Alcotest.test_case "all bodies executable" `Quick test_all_zero_acyclic;
+    Alcotest.test_case "fig3: fully cyclic" `Quick test_fig3_fully_cyclic;
+    Alcotest.test_case "fig7: source matches graph" `Quick test_fig7_matches_source;
+    Alcotest.test_case "cytron86: L = 15" `Quick test_cytron_flow_in_latency;
+    Alcotest.test_case "cytron86: recurrence bound 6" `Quick test_cytron_recurrence_sums;
+    Alcotest.test_case "ll18: paper flow-in count" `Quick test_ll18_flow_in_count;
+    Alcotest.test_case "ewf: 26 adds + 8 muls" `Quick test_ewf_shape;
+    Alcotest.test_case "ewf: single flow-out node" `Quick test_ewf_single_flow_out;
+    Alcotest.test_case "random: reproducible" `Quick test_random_loop_reproducible;
+    Alcotest.test_case "random: paper parameters" `Quick test_random_loop_parameters;
+    Alcotest.test_case "random: cyclic extraction" `Quick test_random_cyclic_extraction;
+    Alcotest.test_case "random: paper seeds" `Quick test_paper_seeds;
+    Alcotest.test_case "recurrences: all non-vectorizable" `Quick test_recurrences_all_have_recurrences;
+    Alcotest.test_case "iir4: distance 2" `Quick test_iir4_needs_unwinding;
+    Alcotest.test_case "kernel sources analyse" `Quick test_kernel_sources_parse;
+    Alcotest.test_case "all workloads schedulable" `Quick test_all_schedulable;
+  ]
