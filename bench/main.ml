@@ -53,7 +53,121 @@ let reproduce () =
   flush stdout
 
 (* ---------------------------------------------------------------- *)
-(* Part 2: Bechamel timings                                           *)
+(* Part 2: real-domain runtime vs the cycle-accurate simulator         *)
+
+type runtime_row = {
+  kernel : string;
+  iterations : int;
+  domains : int;
+  simulated_makespan : int;
+  sequential_cycles : int;
+  wall_parallel_ns : float;
+  wall_1domain_ns : float;
+  wall_speedup : float;
+}
+
+(* Wall-clock comparison on real OCaml 5 domains.  One emulated cycle
+   = [grain_us] of timed wait, so overlapping waits expose the
+   schedule's parallelism in wall-clock even when the host has fewer
+   cores than domains (the 1-domain baseline runs the same loop under
+   a 1-processor schedule). *)
+let runtime_comparison () =
+  let grain_us = 20.0 in
+  let work = Mimd_runtime.Timed_run.Sleep (grain_us *. 1e3) in
+  let kernels =
+    [ ("fig7", W.Fig7.source, 150); ("ewf", W.Elliptic.source, 60) ]
+  in
+  let rows =
+    List.map
+      (fun (kernel, src, iterations) ->
+        let loop = Mimd_loop_ir.Parser.parse src in
+        let graph = (Mimd_loop_ir.Depend.analyze loop).Mimd_loop_ir.Depend.graph in
+        let machine = Config.make ~processors:2 ~comm_estimate:2 in
+        let cache = Mimd_runtime.Schedule_cache.global in
+        let full =
+          Mimd_runtime.Schedule_cache.find_or_compute cache ~graph ~machine ~iterations ()
+        in
+        let program = Mimd_codegen.From_schedule.run full.Mimd_core.Full_sched.schedule in
+        let sim = Mimd_sim.Exec.run ~program ~links:(Mimd_sim.Links.fixed 2) () in
+        let par = Mimd_runtime.Timed_run.run ~work ~program () in
+        let seq_full =
+          Mimd_runtime.Schedule_cache.find_or_compute cache ~graph
+            ~machine:(Config.make ~processors:1 ~comm_estimate:2)
+            ~iterations ()
+        in
+        let seq_program =
+          Mimd_codegen.From_schedule.run seq_full.Mimd_core.Full_sched.schedule
+        in
+        let seq = Mimd_runtime.Timed_run.run ~work ~program:seq_program () in
+        {
+          kernel;
+          iterations;
+          domains = par.Mimd_runtime.Timed_run.domains;
+          simulated_makespan = sim.Mimd_sim.Exec.makespan;
+          sequential_cycles =
+            Array.fold_left ( + ) 0 seq.Mimd_runtime.Timed_run.busy_cycles;
+          wall_parallel_ns = par.Mimd_runtime.Timed_run.makespan_ns;
+          wall_1domain_ns = seq.Mimd_runtime.Timed_run.makespan_ns;
+          wall_speedup = Mimd_runtime.Timed_run.speedup ~baseline:seq par;
+        })
+      kernels
+  in
+  print_endline "\n=== RUNTIME (real OCaml 5 domains, wall-clock vs simulated) ===";
+  Printf.printf "%-8s %5s %8s %10s %10s %12s %12s %8s\n" "kernel" "iters" "domains"
+    "sim-make" "seq-cyc" "wall-par-ms" "wall-1dom-ms" "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %5d %8d %10d %10d %12.2f %12.2f %8.2f\n" r.kernel r.iterations
+        r.domains r.simulated_makespan r.sequential_cycles (r.wall_parallel_ns /. 1e6)
+        (r.wall_1domain_ns /. 1e6) r.wall_speedup)
+    rows;
+  flush stdout;
+  rows
+
+(* ---------------------------------------------------------------- *)
+(* Machine-readable results: BENCH_results.json                       *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~runtime_rows ~bechamel_rows path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": 1,\n  \"generated_by\": \"bench/main.exe\",\n";
+  Buffer.add_string b "  \"runtime\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"iterations\": %d, \"domains\": %d, \
+            \"simulated_makespan_cycles\": %d, \"sequential_cycles\": %d, \
+            \"wall_parallel_ns\": %.0f, \"wall_1domain_ns\": %.0f, \"wall_speedup\": %.4f}%s\n"
+           (json_escape r.kernel) r.iterations r.domains r.simulated_makespan
+           r.sequential_cycles r.wall_parallel_ns r.wall_1domain_ns r.wall_speedup
+           (if i = List.length runtime_rows - 1 then "" else ",")))
+    runtime_rows;
+  Buffer.add_string b "  ],\n  \"bechamel_median_ns\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (match ns with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+           (if i = List.length bechamel_rows - 1 then "" else ",")))
+    bechamel_rows;
+  Buffer.add_string b "  }\n}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
+  Printf.printf "\nwrote %s\n" path
+
+(* ---------------------------------------------------------------- *)
+(* Part 3: Bechamel timings                                           *)
 
 let solve_cyclic g machine () =
   let cls = Mimd_core.Classify.run g in
@@ -140,13 +254,24 @@ let benchmark () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   print_endline "\n=== Bechamel timings (one Test.make per experiment) ===";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let estimated =
+    List.map
+      (fun (name, res) ->
+        match Analyze.OLS.estimates res with
+        | Some [ est ] -> (name, Some est)
+        | _ -> (name, None))
+      (List.sort compare rows)
+  in
   List.iter
-    (fun (name, res) ->
-      match Analyze.OLS.estimates res with
-      | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "%-45s (no estimate)\n" name)
-    (List.sort compare rows)
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-45s %12.1f ns/run\n" name est
+      | None -> Printf.printf "%-45s (no estimate)\n" name)
+    estimated;
+  estimated
 
 let () =
   reproduce ();
-  benchmark ()
+  let runtime_rows = runtime_comparison () in
+  let bechamel_rows = benchmark () in
+  write_json ~runtime_rows ~bechamel_rows "BENCH_results.json"

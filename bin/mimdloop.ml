@@ -401,6 +401,177 @@ let verify_cmd =
        ~doc:"Compile a loop, run it in parallel on the simulator, and compare values against sequential execution")
     Term.(const run $ file_t $ iterations_t $ processors_t $ k_t $ mm_t)
 
+let run_parallel_cmd =
+  let loop_sources =
+    [
+      ("fig7", Mimd_workloads.Fig7.source, "paper Figure 7 loop");
+      ("fig1", Mimd_workloads.Fig1.source, "Figure 1 classification loop (loop-IR rendition)");
+      ("ewf", Mimd_workloads.Elliptic.source, "elliptic wave filter (loop-IR rendition)");
+      ("prefix", "for i = 1 to n { X[i] = X[i-1] + Y[i]; }", "first-order prefix sum");
+    ]
+  in
+  let load_loop ~src ~file ~seed =
+    match (file, seed) with
+    | Some path, None -> begin
+      match In_channel.with_open_text path In_channel.input_all with
+      | s -> begin
+        match Mimd_loop_ir.Parser.parse s with
+        | loop -> Ok loop
+        | exception Mimd_loop_ir.Parser.Error m -> Error ("parse error: " ^ m)
+        | exception Mimd_loop_ir.Lexer.Error { position; message } ->
+          Error (Printf.sprintf "lex error at %d: %s" position message)
+      end
+      | exception Sys_error e -> Error e
+    end
+    | None, Some seed -> Ok (W.Random_loop.generate_loop ~seed ())
+    | None, None -> begin
+      match List.find_opt (fun (n, _, _) -> n = src) loop_sources with
+      | Some (_, s, _) -> Ok (Mimd_loop_ir.Parser.parse s)
+      | None ->
+        Error
+          (Printf.sprintf "unknown loop source %S; known: %s" src
+             (String.concat ", " (List.map (fun (n, _, _) -> n) loop_sources)))
+    end
+    | Some _, Some _ -> Error "choose at most one of --file, --seed"
+  in
+  let run src file seed processors k iterations timed grain_us repeat no_cache timeout =
+    match load_loop ~src ~file ~seed with
+    | Error e ->
+      prerr_endline ("mimdloop: " ^ e);
+      1
+    | Ok loop ->
+      let flat =
+        if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
+      in
+      let graph = (Mimd_loop_ir.Depend.analyze flat).Mimd_loop_ir.Depend.graph in
+      let machine = machine_of processors k in
+      let cache = Mimd_runtime.Schedule_cache.global in
+      let sched_for m =
+        if no_cache then Full_sched.run ~graph ~machine:m ~iterations ()
+        else
+          Mimd_runtime.Schedule_cache.find_or_compute cache ~graph ~machine:m ~iterations ()
+      in
+      (* Repeated requests for the same loop exercise the cache: only
+         the first repetition actually schedules. *)
+      let full = ref (sched_for machine) in
+      let t_sched = Unix.gettimeofday () in
+      for _ = 2 to repeat do
+        full := sched_for machine
+      done;
+      let resched_ns =
+        if repeat > 1 then
+          (Unix.gettimeofday () -. t_sched) /. float_of_int (repeat - 1) *. 1e9
+        else 0.0
+      in
+      let full = !full in
+      let schedule = full.Full_sched.schedule in
+      if Graph.node_count (Schedule.graph schedule) <> List.length (Mimd_loop_ir.Ast.assignments flat)
+      then begin
+        prerr_endline
+          "mimdloop: loop needed unwinding (some dependence distance > 1); run-parallel \
+           supports distances in {0, 1} only";
+        1
+      end
+      else begin
+        let program = Mimd_codegen.From_schedule.run schedule in
+        (match Mimd_codegen.Program.check program with
+        | [] -> ()
+        | defects ->
+          List.iter
+            (fun d -> Format.eprintf "mimdloop: program defect: %a@." Mimd_codegen.Program.pp_defect d)
+            defects);
+        let watchdog = Mimd_runtime.Watchdog.config ~timeout () in
+        match Mimd_runtime.Value_run.run ~watchdog ~loop:flat ~program () with
+        | exception Mimd_runtime.Watchdog.Runtime_deadlock stall ->
+          prerr_endline ("mimdloop: runtime deadlock\n" ^ Mimd_runtime.Watchdog.describe stall);
+          1
+        | outcome -> begin
+          match
+            Mimd_runtime.Value_run.check_against_sequential ~loop:flat ~iterations outcome
+          with
+          | Error e ->
+            Format.printf "MISMATCH vs sequential interpreter: %s@." e;
+            1
+          | Ok () ->
+            Format.printf
+              "OK: %d real domain(s) computed all %d iteration(s) bit-identically to the \
+               sequential interpreter@."
+              outcome.Mimd_runtime.Value_run.domains iterations;
+            Format.printf "  messages: %d, wall-clock makespan: %.0f us@."
+              outcome.Mimd_runtime.Value_run.messages
+              (outcome.Mimd_runtime.Value_run.makespan_ns /. 1e3);
+            Array.iteri
+              (fun j ns -> Format.printf "  domain %d finished at %.0f us@." j (ns /. 1e3))
+              outcome.Mimd_runtime.Value_run.domain_wall_ns;
+            let sim = Mimd_sim.Exec.run ~program ~links:(Mimd_sim.Links.fixed k) () in
+            Format.printf "  simulated makespan: %d cycle(s) (static schedule: %d)@."
+              sim.Mimd_sim.Exec.makespan
+              (Full_sched.parallel_time full);
+            if repeat > 1 && not no_cache then
+              Format.printf "  schedule cache: %.0f ns per repeated request@." resched_ns;
+            if not no_cache then begin
+              let st = Mimd_runtime.Schedule_cache.stats cache in
+              Format.printf "  schedule cache: %d hit(s), %d miss(es), %d entr%s@."
+                st.Mimd_runtime.Schedule_cache.hits st.Mimd_runtime.Schedule_cache.misses
+                st.Mimd_runtime.Schedule_cache.entries
+                (if st.Mimd_runtime.Schedule_cache.entries = 1 then "y" else "ies")
+            end;
+            if timed then begin
+              let work = Mimd_runtime.Timed_run.Sleep (grain_us *. 1e3) in
+              let par = Mimd_runtime.Timed_run.run ~watchdog ~work ~program () in
+              let seq_machine = machine_of 1 k in
+              let seq_full = sched_for seq_machine in
+              let seq_program =
+                Mimd_codegen.From_schedule.run seq_full.Full_sched.schedule
+              in
+              let seq = Mimd_runtime.Timed_run.run ~watchdog ~work ~program:seq_program () in
+              Format.printf
+                "  timed dry run (%.1f us/cycle): %d domain(s) %.2f ms, 1 domain %.2f ms \
+                 -> wall-clock speedup %.2f@."
+                grain_us par.Mimd_runtime.Timed_run.domains
+                (par.Mimd_runtime.Timed_run.makespan_ns /. 1e6)
+                (seq.Mimd_runtime.Timed_run.makespan_ns /. 1e6)
+                (Mimd_runtime.Timed_run.speedup ~baseline:seq par)
+            end;
+            0
+        end
+      end
+  in
+  let src_t =
+    let doc =
+      "Named loop source: " ^ String.concat ", " (List.map (fun (n, _, _) -> n) loop_sources)
+      ^ "."
+    in
+    Arg.(value & opt string "fig7" & info [ "src" ] ~docv:"NAME" ~doc)
+  in
+  let timed_t =
+    Arg.(value & flag & info [ "timed" ]
+           ~doc:"Also run the cycle-emulating dry run and report wall-clock speedup over a \
+                 1-domain run.")
+  in
+  let grain_t =
+    Arg.(value & opt float 20.0 & info [ "grain-us" ] ~docv:"US"
+           ~doc:"Emulated duration of one schedule cycle in the dry run (microseconds).")
+  in
+  let repeat_t =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"R"
+           ~doc:"Schedule the same request R times (exercises the schedule cache).")
+  in
+  let no_cache_t =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Bypass the schedule cache.")
+  in
+  let timeout_t =
+    Arg.(value & opt float 5.0 & info [ "watchdog-timeout" ] ~docv:"SECONDS"
+           ~doc:"Declare a runtime deadlock after this long without progress.")
+  in
+  Cmd.v
+    (Cmd.info "run-parallel"
+       ~doc:"Execute a compiled loop on real OCaml 5 domains (one per scheduled processor) \
+             and check the values against the sequential interpreter")
+    Term.(
+      const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ timed_t
+      $ grain_t $ repeat_t $ no_cache_t $ timeout_t)
+
 let report_cmd =
   let run output iterations =
     let text = Mimd_experiments.Report.generate ~iterations () in
@@ -477,6 +648,7 @@ let main_cmd =
       export_cmd;
       converge_cmd;
       verify_cmd;
+      run_parallel_cmd;
       report_cmd;
     ]
 

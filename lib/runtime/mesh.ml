@@ -1,0 +1,38 @@
+type 'a t = { procs : int; chans : ((int * int) * 'a) Channel.t array array }
+
+let create ~procs ~capacity =
+  if procs < 1 then invalid_arg "Mesh.create: procs < 1";
+  {
+    procs;
+    chans =
+      Array.init procs (fun _ -> Array.init procs (fun _ -> Channel.create ~capacity));
+  }
+
+let procs t = t.procs
+
+let send t ~src ~dst ~tag v =
+  if src = dst then invalid_arg "Mesh.send: self message";
+  Channel.send t.chans.(src).(dst) (tag, v)
+
+type 'a stash = ((int * int) * int, 'a) Hashtbl.t
+
+let stash _t : 'a stash = Hashtbl.create 64
+
+let recv_tag t (stash : 'a stash) ~src ~dst ~tag =
+  match Hashtbl.find_opt stash (tag, src) with
+  | Some v ->
+    Hashtbl.remove stash (tag, src);
+    v
+  | None ->
+    let ch = t.chans.(src).(dst) in
+    let rec pull () =
+      let t', v = Channel.recv ch in
+      if t' = tag then v
+      else begin
+        Hashtbl.replace stash (t', src) v;
+        pull ()
+      end
+    in
+    pull ()
+
+let cancel_all t = Array.iter (Array.iter Channel.cancel) t.chans

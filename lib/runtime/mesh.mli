@@ -1,0 +1,36 @@
+(** A full mesh of point-to-point channels between [procs] domains.
+
+    [chan ~src ~dst] is the channel carrying messages from processor
+    [src] to processor [dst]; there is one per ordered pair, created
+    eagerly so cancellation can reach every potential waiter.  Message
+    payloads are tagged by the producing node instance; because a
+    consumer may issue its [Recv]s in a different order than the
+    producer issued the matching [Send]s, receivers must pull through
+    {!recv_tag}, which stashes out-of-order arrivals per source until
+    their own [Recv] comes up (each (tag, src, dst) message is unique,
+    so stashing can never mis-deliver). *)
+
+type 'a t
+
+val create : procs:int -> capacity:int -> 'a t
+(** @raise Invalid_argument if [procs < 1] or [capacity < 1]. *)
+
+val procs : 'a t -> int
+
+val send : 'a t -> src:int -> dst:int -> tag:int * int -> 'a -> unit
+(** @raise Invalid_argument on [src = dst] (programs never message
+    themselves; {!Mimd_codegen.Program.check} flags it statically). *)
+
+type 'a stash
+(** One consumer's reorder buffer; each domain creates its own. *)
+
+val stash : 'a t -> 'a stash
+
+val recv_tag : 'a t -> 'a stash -> src:int -> dst:int -> tag:int * int -> 'a
+(** Blocking receive of the message with exactly [tag] from [src],
+    buffering any other arrivals from [src] for later [Recv]s.
+    @raise Channel.Cancelled once the mesh is cancelled. *)
+
+val cancel_all : 'a t -> unit
+(** Poison every channel (idempotent); all blocked domains wake with
+    {!Channel.Cancelled}. *)

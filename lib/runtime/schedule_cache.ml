@@ -1,0 +1,108 @@
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+module Full_sched = Mimd_core.Full_sched
+
+type t = {
+  capacity : int;
+  table : (string, Full_sched.t) Hashtbl.t;
+  order : string Queue.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Schedule_cache.create: capacity < 1";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let global = create ()
+
+let kind_tag = function
+  | Graph.Generic -> 'g'
+  | Graph.Add -> 'a'
+  | Graph.Mul -> 'm'
+  | Graph.Div -> 'd'
+  | Graph.Load -> 'l'
+  | Graph.Store -> 's'
+  | Graph.Copy -> 'c'
+  | Graph.Compare -> 'e'
+  | Graph.Predicate -> 'p'
+
+let strategy_tag = function
+  | Full_sched.Separate -> 'S'
+  | Full_sched.Folded -> 'F'
+  | Full_sched.Auto -> 'A'
+
+let fingerprint ?(strategy = Full_sched.Auto) ?(fold_tolerance = 0.05)
+    ?(max_iterations = 1024) ~graph ~machine ~iterations () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (string_of_int (Graph.node_count graph));
+  List.iter
+    (fun (n : Graph.node) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%s~%d~%c" n.Graph.name n.Graph.latency (kind_tag n.Graph.kind)))
+    (Graph.nodes graph);
+  (* Edge order is a construction artifact, not semantics: sort. *)
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%d>%d@%d$%s" e.Graph.src e.Graph.dst e.Graph.distance
+           (match e.Graph.cost with None -> "-" | Some c -> string_of_int c)))
+    (List.sort compare (Graph.edges graph));
+  Buffer.add_string b
+    (Printf.sprintf "|p%d|k%d|n%d|%c|f%h|m%d" machine.Config.processors
+       machine.Config.comm_estimate iterations (strategy_tag strategy) fold_tolerance
+       max_iterations);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_compute ?strategy ?fold_tolerance ?max_iterations t ~graph ~machine
+    ~iterations () =
+  let key = fingerprint ?strategy ?fold_tolerance ?max_iterations ~graph ~machine ~iterations () in
+  match
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some full ->
+          t.hits <- t.hits + 1;
+          Some full
+        | None -> None)
+  with
+  | Some full -> full
+  | None ->
+    (* Compute outside the lock: scheduling can be slow and other
+       domains may want unrelated entries meanwhile.  A racing miss on
+       the same key just computes twice and stores a equivalent value. *)
+    let full = Full_sched.run ?strategy ?fold_tolerance ?max_iterations ~graph ~machine ~iterations () in
+    with_lock t (fun () ->
+        t.misses <- t.misses + 1;
+        if not (Hashtbl.mem t.table key) then begin
+          if Queue.length t.order >= t.capacity then begin
+            let oldest = Queue.pop t.order in
+            Hashtbl.remove t.table oldest
+          end;
+          Hashtbl.replace t.table key full;
+          Queue.push key t.order
+        end);
+    full
+
+let stats t =
+  with_lock t (fun () -> { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0)

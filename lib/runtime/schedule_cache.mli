@@ -1,0 +1,61 @@
+(** Memoized scheduling: DDG + machine configuration -> compiled
+    {!Mimd_core.Full_sched.t}.
+
+    Scheduling is by far the most expensive step of serving a loop
+    (pattern search, flow scheduling, folding comparison); executing a
+    cached schedule costs only the run itself.  The cache keys on a
+    digest of everything the scheduler reads — the graph's nodes
+    (name, latency, kind) and edges (endpoints, distance, cost
+    override, order-insensitively), the machine (processors, estimated
+    communication cost), the trip count and the strategy parameters —
+    so a hit is guaranteed to be the schedule the scheduler would have
+    recomputed.  Repeated [run-parallel] invocations of the same loop
+    skip rescheduling entirely: the first step toward serving many
+    requests over a fixed loop corpus.
+
+    The cache is domain-safe (a mutex guards every operation) and
+    bounded: beyond [capacity] entries the oldest is evicted (FIFO —
+    the workload we optimise for is "the same loops over and over",
+    where eviction order hardly matters). *)
+
+type t
+
+type stats = { hits : int; misses : int; entries : int }
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 128.  @raise Invalid_argument if
+    [capacity < 1]. *)
+
+val global : t
+(** A process-wide cache shared by the CLI and benchmarks. *)
+
+val fingerprint :
+  ?strategy:Mimd_core.Full_sched.strategy ->
+  ?fold_tolerance:float ->
+  ?max_iterations:int ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  iterations:int ->
+  unit ->
+  string
+(** The hex digest used as cache key (exposed for tests and for
+    logging cache behaviour). *)
+
+val find_or_compute :
+  ?strategy:Mimd_core.Full_sched.strategy ->
+  ?fold_tolerance:float ->
+  ?max_iterations:int ->
+  t ->
+  graph:Mimd_ddg.Graph.t ->
+  machine:Mimd_machine.Config.t ->
+  iterations:int ->
+  unit ->
+  Mimd_core.Full_sched.t
+(** Return the cached schedule for this key, or run
+    {!Mimd_core.Full_sched.run} (with identical arguments), store and
+    return it.  Exceptions from the scheduler propagate and cache
+    nothing. *)
+
+val stats : t -> stats
+val clear : t -> unit
+(** Drop all entries; [stats] counters reset too. *)

@@ -1,0 +1,67 @@
+module Program = Mimd_codegen.Program
+module Graph = Mimd_ddg.Graph
+
+type work = No_work | Spin of float | Sleep of float
+
+type outcome = {
+  makespan_ns : float;
+  domain_ns : float array;
+  busy_cycles : int array;
+  messages : int;
+  domains : int;
+}
+
+let emulate work cycles =
+  match work with
+  | No_work -> ()
+  | Sleep ns_per_cycle -> Unix.sleepf (float_of_int cycles *. ns_per_cycle *. 1e-9)
+  | Spin ns_per_cycle ->
+    let until =
+      Unix.gettimeofday () +. (float_of_int cycles *. ns_per_cycle *. 1e-9)
+    in
+    while Unix.gettimeofday () < until do
+      Domain.cpu_relax ()
+    done
+
+let run ?watchdog ?(channel_capacity = 256) ?(work = No_work) ~program () =
+  let graph = program.Program.graph in
+  let mesh = Mesh.create ~procs:program.Program.processors ~capacity:channel_capacity in
+  let t0 = Unix.gettimeofday () in
+  let worker ~proc:j ~tick =
+    let stash = Mesh.stash mesh in
+    let cycles = ref 0 in
+    let sent = ref 0 in
+    List.iter
+      (fun instr ->
+        (match instr with
+        | Program.Compute { node; _ } ->
+          let l = Graph.latency graph node in
+          emulate work l;
+          cycles := !cycles + l
+        | Program.Send { tag; dst } ->
+          Mesh.send mesh ~src:j ~dst ~tag:(tag.Program.node, tag.Program.iter) ();
+          incr sent
+        | Program.Recv { tag; src } ->
+          Mesh.recv_tag mesh stash ~src ~dst:j
+            ~tag:(tag.Program.node, tag.Program.iter));
+        tick ())
+      program.Program.programs.(j);
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (!cycles, !sent, wall_ns)
+  in
+  let results =
+    Domains.run ?watchdog ~graph ~programs:program.Program.programs
+      ~cancel_all:(fun () -> Mesh.cancel_all mesh)
+      ~worker ()
+  in
+  let domain_ns = Array.map (fun (_, _, ns) -> ns) results in
+  {
+    makespan_ns = Array.fold_left max 0.0 domain_ns;
+    domain_ns;
+    busy_cycles = Array.map (fun (c, _, _) -> c) results;
+    messages = Array.fold_left (fun acc (_, s, _) -> acc + s) 0 results;
+    domains = program.Program.processors;
+  }
+
+let speedup ~baseline t =
+  if t.makespan_ns <= 0.0 then nan else baseline.makespan_ns /. t.makespan_ns

@@ -1,0 +1,120 @@
+module Program = Mimd_codegen.Program
+module Graph = Mimd_ddg.Graph
+module Ast = Mimd_loop_ir.Ast
+module Interp = Mimd_loop_ir.Interp
+module Value_exec = Mimd_sim.Value_exec
+
+type outcome = {
+  instance_values : ((int * int) * float) list;
+  final : (string * int * float) list;
+  messages : int;
+  domains : int;
+  domain_wall_ns : float array;
+  makespan_ns : float;
+}
+
+let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
+    ?(channel_capacity = 256) ~loop ~program () =
+  if not (Ast.is_flat loop) then invalid_arg "Value_run.run: loop must be flat";
+  let stmts = Array.of_list (Ast.assignments loop) in
+  let graph = program.Program.graph in
+  if Array.length stmts <> Graph.node_count graph then
+    invalid_arg "Value_run.run: statement/node count mismatch";
+  let resolve = Value_exec.resolver stmts in
+  let mesh = Mesh.create ~procs:program.Program.processors ~capacity:channel_capacity in
+  let t0 = Unix.gettimeofday () in
+  let worker ~proc:j ~tick =
+    (* Shared-nothing by discipline: everything below is this domain's
+       private state; values cross domains only through the mesh. *)
+    let local : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+    let stash = Mesh.stash mesh in
+    let computed = ref [] in
+    let sent = ref 0 in
+    List.iter
+      (fun instr ->
+        (match instr with
+        | Program.Compute { node; iter } ->
+          let _, _, rhs = stmts.(node) in
+          let read array offset =
+            match resolve node array offset with
+            | Some (s', delta) when iter - delta >= 0 -> begin
+              match Hashtbl.find_opt local (s', iter - delta) with
+              | Some v -> v
+              | None ->
+                (* A missing operand is a codegen bug; reading initial
+                   memory here would mask it, so fail loudly. *)
+                invalid_arg
+                  (Printf.sprintf
+                     "Value_run: PE%d computing (%d,%d) lacks operand (%d,%d) for %s" j
+                     node iter s' (iter - delta) array)
+            end
+            | Some _ | None -> init array (Interp.cell_index array ~iter ~offset)
+          in
+          let v = Interp.eval_expr_with ~read ~scalars rhs in
+          Hashtbl.replace local (node, iter) v;
+          computed := ((node, iter), v) :: !computed
+        | Program.Send { tag; dst } ->
+          let key = (tag.Program.node, tag.Program.iter) in
+          let v =
+            match Hashtbl.find_opt local key with
+            | Some v -> v
+            | None -> invalid_arg "Value_run: send before compute (malformed program)"
+          in
+          Mesh.send mesh ~src:j ~dst ~tag:key v;
+          incr sent
+        | Program.Recv { tag; src } ->
+          let key = (tag.Program.node, tag.Program.iter) in
+          let v = Mesh.recv_tag mesh stash ~src ~dst:j ~tag:key in
+          Hashtbl.replace local key v);
+        tick ())
+      program.Program.programs.(j);
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (!computed, !sent, wall_ns)
+  in
+  let results =
+    Domains.run ?watchdog ~graph ~programs:program.Program.programs
+      ~cancel_all:(fun () -> Mesh.cancel_all mesh)
+      ~worker ()
+  in
+  let values : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let messages = ref 0 in
+  Array.iter
+    (fun (computed, sent, _) ->
+      messages := !messages + sent;
+      List.iter (fun (k, v) -> Hashtbl.replace values k v) computed)
+    results;
+  (* Authoritative final memory: every cell takes the value of its last
+     writer in sequential (iteration, body position) order — the same
+     fold as Sim.Value_exec so the two executors are comparable
+     list-for-list. *)
+  let last_writer : (string * int, (int * int) * float) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (node, iter) v ->
+      let array, offset, _ = stmts.(node) in
+      let cell = (array, Interp.cell_index array ~iter ~offset) in
+      let better =
+        match Hashtbl.find_opt last_writer cell with
+        | None -> true
+        | Some ((i', s'), _) -> (iter, node) > (i', s')
+      in
+      if better then Hashtbl.replace last_writer cell ((iter, node), v))
+    values;
+  let final =
+    Hashtbl.fold (fun (a, i) (_, v) acc -> (a, i, v) :: acc) last_writer []
+    |> List.sort compare
+  in
+  let instance_values =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) values [] |> List.sort compare
+  in
+  let domain_wall_ns = Array.map (fun (_, _, ns) -> ns) results in
+  {
+    instance_values;
+    final;
+    messages = !messages;
+    domains = program.Program.processors;
+    domain_wall_ns;
+    makespan_ns = Array.fold_left max 0.0 domain_wall_ns;
+  }
+
+let check_against_sequential ?init ?scalars ~loop ~iterations outcome =
+  Value_exec.check_final ?init ?scalars ~loop ~iterations ~final:outcome.final ()

@@ -1,0 +1,63 @@
+(** Value-carrying execution of a compiled program on real OCaml 5
+    domains — the runtime counterpart of {!Mimd_sim.Value_exec}.
+
+    One domain per scheduled processor executes its instruction stream
+    over a concrete float store: a [Compute] for statement [s] at
+    iteration [i] evaluates the statement's right-hand side against
+    the domain's {e local} store (operands resolved by the shared
+    reaching-definition {!Mimd_sim.Value_exec.resolver}, initial
+    memory addressed via {!Mimd_loop_ir.Interp.cell_index}); a [Send]
+    ships the produced value through a bounded {!Channel} to the
+    consuming domain; a [Recv] blocks until it arrives.  No memory is
+    shared between domains — every cross-processor value travels in a
+    message, exactly as on the paper's asynchronous shared-nothing
+    MIMD machine.
+
+    Determinism: the value computed for each instance is independent
+    of interleaving (messages are matched by instance tag), so the
+    final memory is bit-identical to {!Mimd_loop_ir.Interp.run} and to
+    {!Mimd_sim.Value_exec.run} whenever code generation is correct —
+    the differential tests assert exactly that. *)
+
+type outcome = {
+  instance_values : ((int * int) * float) list;
+      (** value produced by every (statement, iteration) instance,
+          sorted *)
+  final : (string * int * float) list;
+      (** last-writer value of every written cell, sorted *)
+  messages : int;  (** messages actually sent between domains *)
+  domains : int;  (** domains spawned = program processors *)
+  domain_wall_ns : float array;
+      (** per-domain wall-clock from collective start to that domain's
+          last instruction *)
+  makespan_ns : float;  (** max over [domain_wall_ns] *)
+}
+
+val run :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  ?watchdog:Watchdog.config ->
+  ?channel_capacity:int ->
+  loop:Mimd_loop_ir.Ast.loop ->
+  program:Mimd_codegen.Program.t ->
+  unit ->
+  outcome
+(** Execute [program] on [program.processors] fresh domains.  [loop]
+    must be flat and its assignment count must match the program's
+    graph node count.
+    @raise Invalid_argument on a malformed loop/program pair (including
+    a [Compute] whose operand never arrived — surfaced via [Failure]
+    naming the domain).
+    @raise Watchdog.Runtime_deadlock when execution stalls for the
+    watchdog's timeout (default 5s; pass {!Watchdog.off} to wait
+    indefinitely). *)
+
+val check_against_sequential :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  loop:Mimd_loop_ir.Ast.loop ->
+  iterations:int ->
+  outcome ->
+  (unit, string) result
+(** Bit-exact comparison of the runtime's final memory against the
+    sequential interpreter, via {!Mimd_sim.Value_exec.check_final}. *)

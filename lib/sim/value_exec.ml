@@ -182,10 +182,10 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ~loop ~program 
     final;
   }
 
-let check_against_sequential ?init ?scalars ~loop ~iterations outcome =
+let check_final ?init ?scalars ~loop ~iterations ~final () =
   let reference = Interp.run ?init ?scalars loop ~iterations in
   let expected = Interp.written_cells reference in
-  let got = outcome.final in
+  let got = final in
   if List.length expected <> List.length got then
     Error
       (Printf.sprintf "cell count mismatch: sequential wrote %d, parallel %d"
@@ -205,3 +205,6 @@ let check_against_sequential ?init ?scalars ~loop ~iterations outcome =
     in
     compare_cells (expected, got)
   end
+
+let check_against_sequential ?init ?scalars ~loop ~iterations outcome =
+  check_final ?init ?scalars ~loop ~iterations ~final:outcome.final ()

@@ -24,6 +24,20 @@ type outcome = {
       (** last-writer value of every written cell, sorted *)
 }
 
+val resolver :
+  (string * int * Mimd_loop_ir.Ast.expr) array ->
+  int ->
+  string ->
+  int ->
+  (int * int) option
+(** [resolver stmts t array b] is the reaching definition of the
+    reference [array\[i + b\]] read by statement [t]: [Some (s, delta)]
+    when the value is produced by statement [s], [delta] iterations
+    back; [None] when it comes from initial memory.  [stmts] is the
+    flat body as returned by {!Mimd_loop_ir.Ast.assignments}.  Shared
+    by this simulator and the real-domain runtime ({!Mimd_runtime}) so
+    both address values identically. *)
+
 val run :
   ?init:(string -> int -> float) ->
   ?scalars:(string -> float) ->
@@ -37,6 +51,18 @@ val run :
     assignment count must match the program's graph node count.
     @raise Invalid_argument on a mismatch.
     @raise Exec.Deadlock as {!Exec.run} does. *)
+
+val check_final :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  loop:Mimd_loop_ir.Ast.loop ->
+  iterations:int ->
+  final:(string * int * float) list ->
+  unit ->
+  (unit, string) result
+(** Compare a last-writer cell list (as produced by any parallel
+    executor) against {!Mimd_loop_ir.Interp.run} on the same loop,
+    inputs and trip count.  Comparison is bit-exact. *)
 
 val check_against_sequential :
   ?init:(string -> int -> float) ->

@@ -76,3 +76,30 @@ let graph () =
 let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2
 let paper_ours_sp = 30.9
 let paper_doacross_sp = 0.0
+
+(* Loop-IR rendition of the filter for the value-level executors: five
+   coupled second-order sections (states S0..S4 feed back one
+   iteration, K0..K4 are coefficient scalars, X the input tap).  The
+   graph above stays the authoritative Figure-12 DDG; this source only
+   needs to be an elliptic-filter-shaped loop with concrete
+   right-hand sides. *)
+let source =
+  "for i = 1 to n {\n\
+  \  G0[i] = X[i] + S0[i-1];\n\
+  \  M0[i] = G0[i] * K0;\n\
+  \  A0[i] = M0[i] + S1[i-1];\n\
+  \  S0[i] = A0[i] + G0[i];\n\
+  \  G1[i] = S0[i] + S2[i-1];\n\
+  \  M1[i] = G1[i] * K1;\n\
+  \  A1[i] = M1[i] + S2[i-1];\n\
+  \  S1[i] = A1[i] + S0[i-1];\n\
+  \  G2[i] = S1[i] + S3[i-1];\n\
+  \  M2[i] = G2[i] * K2;\n\
+  \  S2[i] = M2[i] + G2[i];\n\
+  \  G3[i] = S2[i] + S4[i-1];\n\
+  \  M3[i] = G3[i] * K3;\n\
+  \  S3[i] = M3[i] + S2[i];\n\
+  \  M4[i] = S3[i] * K4;\n\
+  \  S4[i] = M4[i] + S3[i-1];\n\
+  \  Y[i] = S4[i] + S0[i];\n\
+   }\n"

@@ -15,6 +15,13 @@
     Flow-out sink, everything else Cyclic (pinned by the tests). *)
 
 val graph : unit -> Mimd_ddg.Graph.t
+
+val source : string
+(** Loop-IR rendition of the filter — five coupled second-order
+    sections with one-iteration state feedback — for the value-level
+    executors, which need concrete right-hand sides.  {!graph} remains
+    the authoritative Figure-12 DDG. *)
+
 val machine : Mimd_machine.Config.t
 val adds : int
 val muls : int

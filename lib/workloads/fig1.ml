@@ -30,6 +30,25 @@ let graph () =
   edge "I" "J";
   Graph.build b
 
+(* Loop-IR rendition of the same dependence structure, one statement
+   per node (X, Y, Z are loop inputs, never written): feeds the
+   value-level executors, which need concrete right-hand sides. *)
+let source =
+  "for i = 1 to n {\n\
+  \  A[i] = X[i] + 1;\n\
+  \  B[i] = Y[i] * 2;\n\
+  \  C[i] = A[i] + B[i];\n\
+  \  D[i] = Z[i] - 1;\n\
+  \  F[i] = D[i] * Z[i];\n\
+  \  E[i] = C[i] + F[i] + I[i-1];\n\
+  \  I[i] = E[i] * 2;\n\
+  \  K[i] = I[i] + 1;\n\
+  \  L[i] = K[i] + L[i-1];\n\
+  \  G[i] = L[i] - 3;\n\
+  \  H[i] = G[i] * G[i];\n\
+  \  J[i] = I[i] + 2;\n\
+   }\n"
+
 let expected_flow_in = [ "A"; "B"; "C"; "D"; "F" ]
 let expected_cyclic = [ "E"; "I"; "K"; "L" ]
 let expected_flow_out = [ "G"; "H"; "J" ]

@@ -10,6 +10,12 @@
 
 val graph : unit -> Mimd_ddg.Graph.t
 
+val source : string
+(** Loop-IR rendition of the same dependence structure (one statement
+    per node, X/Y/Z as never-written inputs): analysing it yields a
+    12-statement graph with the figure's partition, and it gives the
+    value-level executors concrete right-hand sides to run. *)
+
 val expected_flow_in : string list
 val expected_cyclic : string list
 val expected_flow_out : string list

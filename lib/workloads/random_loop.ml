@@ -46,3 +46,43 @@ let generate_cyclic ?params ~seed () =
   end
 
 let paper_seeds = List.init 25 (fun i -> i + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random loop-IR programs (not just graphs): concrete flat
+   loops for the value-level executors' differential tests.  Every
+   statement writes offset 0 of one of a few arrays; reads use offsets
+   in {-1, 0}, keeping dependence distances within the scheduler's
+   {0, 1}.  The distance-0 dependences always point forward in body
+   order (a same-iteration read of a later writer resolves to the
+   previous iteration), so every generated loop is well-formed. *)
+
+module Ast = Mimd_loop_ir.Ast
+
+let loop_arrays = [| "A"; "B"; "C"; "D"; "E" |]
+
+let generate_loop ?(min_stmts = 2) ?(max_stmts = 6) ~seed () =
+  if min_stmts < 1 || max_stmts < min_stmts then
+    invalid_arg "Random_loop.generate_loop: bad statement bounds";
+  let rng = Prng.create ~seed:(seed * 2 * 31 * 997) in
+  let gen_ref () =
+    let array = loop_arrays.(Prng.int rng (Array.length loop_arrays)) in
+    let offset = -Prng.int rng 2 in
+    Ast.Ref { array; offset }
+  in
+  let rec gen_expr depth =
+    match if depth = 0 then Prng.int rng 2 else Prng.int rng 4 with
+    | 0 -> gen_ref ()
+    | 1 -> Ast.Int (1 + Prng.int rng 5)
+    | _ ->
+      let op =
+        match Prng.int rng 3 with 0 -> Ast.Add | 1 -> Ast.Sub | _ -> Ast.Mul
+      in
+      Ast.Binop (op, gen_expr (depth - 1), gen_expr (depth - 1))
+  in
+  let nstmts = Prng.int_in rng ~lo:min_stmts ~hi:max_stmts in
+  let body =
+    List.init nstmts (fun _ ->
+        let array = loop_arrays.(Prng.int rng (Array.length loop_arrays)) in
+        Ast.Assign { array; offset = 0; rhs = gen_expr 2 })
+  in
+  { Ast.index = "i"; lo = "1"; hi = "n"; body }

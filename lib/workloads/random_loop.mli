@@ -32,3 +32,11 @@ val generate_cyclic : ?params:params -> seed:int -> unit -> Mimd_ddg.Graph.t opt
 
 val paper_seeds : int list
 (** 1..25 *)
+
+val generate_loop :
+  ?min_stmts:int -> ?max_stmts:int -> seed:int -> unit -> Mimd_loop_ir.Ast.loop
+(** A seeded random {e loop-IR program} (not just a graph): a flat
+    loop of [min_stmts]..[max_stmts] (default 2..6) assignments over a
+    small array pool, reads at offsets in [{-1, 0}] so dependence
+    distances stay within the scheduler's [{0, 1}].  Deterministic in
+    [seed]; feeds the runtime/simulator differential tests. *)

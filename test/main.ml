@@ -23,4 +23,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("theory", Test_theory.suite);
       ("integration", Test_integration.suite);
+      ("runtime", Test_runtime.suite);
     ]

@@ -1,0 +1,245 @@
+(* Real-domain runtime: differential correctness against the
+   sequential interpreter (gold standard) and the value-carrying
+   simulator, channel/mesh mechanics, watchdog deadlock detection and
+   the schedule cache. *)
+
+open Helpers
+module Ast = Mimd_loop_ir.Ast
+module Parser = Mimd_loop_ir.Parser
+module Depend = Mimd_loop_ir.Depend
+module Interp = Mimd_loop_ir.Interp
+module Program = Mimd_codegen.Program
+module Value_exec = Mimd_sim.Value_exec
+module Links = Mimd_sim.Links
+module Channel = Mimd_runtime.Channel
+module Watchdog = Mimd_runtime.Watchdog
+module Value_run = Mimd_runtime.Value_run
+module Timed_run = Mimd_runtime.Timed_run
+module Schedule_cache = Mimd_runtime.Schedule_cache
+
+(* ---------------------------------------------------------------- *)
+(* Channels                                                           *)
+
+let test_channel_fifo () =
+  let ch = Channel.create ~capacity:8 in
+  List.iter (fun i -> Channel.send ch i) [ 1; 2; 3 ];
+  check_int "fifo 1" 1 (Channel.recv ch);
+  check_int "fifo 2" 2 (Channel.recv ch);
+  check_int "length" 1 (Channel.length ch);
+  check_int "fifo 3" 3 (Channel.recv ch);
+  check_bool "empty" true (Channel.try_recv ch = None)
+
+let test_channel_bounded () =
+  (* A producer pushing capacity + N items blocks until the consumer
+     drains; both sides must still complete. *)
+  let ch = Channel.create ~capacity:2 in
+  let producer = Domain.spawn (fun () -> List.iter (fun i -> Channel.send ch i) [ 1; 2; 3; 4; 5 ]) in
+  let got = List.init 5 (fun _ -> Channel.recv ch) in
+  Domain.join producer;
+  check_bool "all items in order" true (got = [ 1; 2; 3; 4; 5 ])
+
+let test_channel_cancel_unblocks () =
+  let ch : int Channel.t = Channel.create ~capacity:2 in
+  let consumer =
+    Domain.spawn (fun () ->
+        match Channel.recv ch with
+        | _ -> false
+        | exception Channel.Cancelled -> true)
+  in
+  Unix.sleepf 0.02;
+  Channel.cancel ch;
+  check_bool "blocked recv woken with Cancelled" true (Domain.join consumer);
+  check_bool "send after cancel raises" true
+    (match Channel.send ch 1 with () -> false | exception Channel.Cancelled -> true)
+
+(* ---------------------------------------------------------------- *)
+(* Differential execution: runtime = Interp = Value_exec              *)
+
+let compile ?(p = 2) ?(k = 2) ~iterations loop =
+  let flat = if Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop in
+  let graph = (Depend.analyze flat).Depend.graph in
+  let machine = machine ~p ~k () in
+  let schedule = Mimd_core.Cyclic_sched.schedule_iterations ~graph ~machine ~iterations () in
+  (flat, Mimd_codegen.From_schedule.run schedule)
+
+let differential ~name ?(p = 2) ?(k = 2) ?(iterations = 20) loop =
+  let flat, program = compile ~p ~k ~iterations loop in
+  let runtime = Value_run.run ~loop:flat ~program () in
+  (* vs the sequential interpreter (gold standard) *)
+  (match Value_run.check_against_sequential ~loop:flat ~iterations runtime with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: runtime vs interp: %s" name e);
+  (* vs the simulator's value execution, instance by instance *)
+  let sim = Value_exec.run ~loop:flat ~program ~links:(Links.fixed k) () in
+  if sim.Value_exec.instance_values <> runtime.Value_run.instance_values then
+    Alcotest.failf "%s: runtime instance values differ from Value_exec" name;
+  if sim.Value_exec.final <> runtime.Value_run.final then
+    Alcotest.failf "%s: runtime final memory differs from Value_exec" name;
+  check_bool (name ^ ": ran on >= 1 domain") true (runtime.Value_run.domains >= 1)
+
+let test_differential_paper_workloads () =
+  List.iter
+    (fun (name, src) -> differential ~name (Parser.parse src))
+    [
+      ("fig1", Mimd_workloads.Fig1.source);
+      ("fig7", Mimd_workloads.Fig7.source);
+      ("elliptic", Mimd_workloads.Elliptic.source);
+    ]
+
+let test_differential_more_processors () =
+  List.iter
+    (fun (name, src) -> differential ~name ~p:4 (Parser.parse src))
+    [ ("fig7 on 4 PEs", Mimd_workloads.Fig7.source); ("elliptic on 4 PEs", Mimd_workloads.Elliptic.source) ]
+
+let test_differential_random_loops () =
+  (* >= 20 seeded Random_loop instances, alternating processor counts. *)
+  for seed = 1 to 20 do
+    let loop = Mimd_workloads.Random_loop.generate_loop ~seed () in
+    let p = 2 + (seed mod 3) in
+    differential ~name:(Printf.sprintf "random seed %d" seed) ~p ~iterations:12 loop
+  done
+
+let test_single_domain () =
+  differential ~name:"fig7 on 1 domain" ~p:1 (Parser.parse Mimd_workloads.Fig7.source)
+
+let test_full_sched_programs () =
+  (* Programs generated from the full pattern-based pipeline (Flow
+     processors and all), not just the folded greedy. *)
+  let loop = Parser.parse Mimd_workloads.Fig1.source in
+  let graph = (Depend.analyze loop).Depend.graph in
+  let machine = machine ~p:2 ~k:2 () in
+  let full = Mimd_core.Full_sched.run ~graph ~machine ~iterations:15 () in
+  let program = Mimd_codegen.From_schedule.run full.Mimd_core.Full_sched.schedule in
+  let runtime = Value_run.run ~loop ~program () in
+  match Value_run.check_against_sequential ~loop ~iterations:15 runtime with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "full-sched program: %s" e
+
+(* ---------------------------------------------------------------- *)
+(* Watchdog                                                           *)
+
+let test_watchdog_detects_deadlock () =
+  (* Drop one send from a correct program: the matching recv can never
+     complete, and the run must end in Runtime_deadlock (with
+     snapshots), not hang. *)
+  let loop = Parser.parse "for i = 1 to n { X[i] = X[i-1] + 1; Y[i] = X[i] * 2; }" in
+  let flat, program = compile ~k:0 ~iterations:10 loop in
+  let dropped = ref false in
+  let programs =
+    Array.map
+      (List.filter (fun instr ->
+           match instr with
+           | Program.Send _ when not !dropped ->
+             dropped := true;
+             false
+           | _ -> true))
+      program.Program.programs
+  in
+  check_bool "a send was dropped" true !dropped;
+  let broken = { program with Program.programs } in
+  let watchdog = Watchdog.config ~timeout:0.3 ~poll_interval:0.01 () in
+  let t0 = Unix.gettimeofday () in
+  match Value_run.run ~watchdog ~loop:flat ~program:broken () with
+  | _ -> Alcotest.fail "broken program terminated normally"
+  | exception Watchdog.Runtime_deadlock stall ->
+    let elapsed = Unix.gettimeofday () -. t0 in
+    check_bool "terminated within a few timeouts" true (elapsed < 3.0);
+    check_int "one snapshot per domain" program.Program.processors
+      (List.length stall.Watchdog.snapshots);
+    check_bool "some domain is stuck mid-program" true
+      (List.exists
+         (fun s -> s.Watchdog.current <> None)
+         stall.Watchdog.snapshots)
+
+let test_watchdog_quiet_on_healthy_run () =
+  let loop = Parser.parse Mimd_workloads.Fig7.source in
+  let flat, program = compile ~iterations:30 loop in
+  let watchdog = Watchdog.config ~timeout:30.0 () in
+  let outcome = Value_run.run ~watchdog ~loop:flat ~program () in
+  check_bool "finished" true (outcome.Value_run.instance_values <> [])
+
+(* ---------------------------------------------------------------- *)
+(* Timed dry run                                                      *)
+
+let test_timed_run_counts_cycles () =
+  let loop = Parser.parse Mimd_workloads.Fig7.source in
+  let _, program = compile ~iterations:25 loop in
+  let out = Timed_run.run ~program () in
+  let graph = program.Program.graph in
+  let expected =
+    Array.fold_left
+      (fun acc prog ->
+        List.fold_left
+          (fun acc instr ->
+            match instr with
+            | Program.Compute { node; _ } -> acc + Mimd_ddg.Graph.latency graph node
+            | _ -> acc)
+          acc prog)
+      0 program.Program.programs
+  in
+  check_int "busy cycles = total scheduled latency" expected
+    (Array.fold_left ( + ) 0 out.Timed_run.busy_cycles);
+  check_int "one domain per processor" program.Program.processors out.Timed_run.domains;
+  check_bool "wall clock measured" true (out.Timed_run.makespan_ns > 0.0)
+
+(* ---------------------------------------------------------------- *)
+(* Schedule cache                                                     *)
+
+let test_schedule_cache_hits () =
+  let cache = Schedule_cache.create () in
+  let graph = fig7 () in
+  let machine = machine () in
+  let a = Schedule_cache.find_or_compute cache ~graph ~machine ~iterations:30 () in
+  let b = Schedule_cache.find_or_compute cache ~graph ~machine ~iterations:30 () in
+  check_bool "second lookup is the memoized schedule" true (a == b);
+  let st = Schedule_cache.stats cache in
+  check_int "one hit" 1 st.Schedule_cache.hits;
+  check_int "one miss" 1 st.Schedule_cache.misses;
+  check_int "one entry" 1 st.Schedule_cache.entries;
+  (* different request -> different entry *)
+  let c = Schedule_cache.find_or_compute cache ~graph ~machine ~iterations:31 () in
+  check_bool "different trip count misses" true (c != b);
+  check_int "two entries" 2 (Schedule_cache.stats cache).Schedule_cache.entries
+
+let test_schedule_cache_key_semantics () =
+  let graph = fig7 () in
+  let machine = machine () in
+  let key a b = Schedule_cache.fingerprint ~graph ~machine:a ~iterations:b () in
+  check_bool "same request, same key" true (key machine 10 = key machine 10);
+  check_bool "trip count in key" true (key machine 10 <> key machine 11);
+  check_bool "machine in key" true
+    (key machine 10 <> key (Helpers.machine ~p:3 ()) 10);
+  (* structurally identical graphs built separately agree *)
+  let g2 = fig7 () in
+  check_bool "structural graph key" true
+    (Schedule_cache.fingerprint ~graph:g2 ~machine ~iterations:10 () = key machine 10)
+
+let test_schedule_cache_eviction () =
+  let cache = Schedule_cache.create ~capacity:2 () in
+  let machine = machine () in
+  let graph = fig7 () in
+  List.iter
+    (fun n -> ignore (Schedule_cache.find_or_compute cache ~graph ~machine ~iterations:n ()))
+    [ 10; 11; 12; 13 ];
+  check_bool "bounded" true ((Schedule_cache.stats cache).Schedule_cache.entries <= 2);
+  Schedule_cache.clear cache;
+  check_int "cleared" 0 (Schedule_cache.stats cache).Schedule_cache.entries
+
+let suite =
+  [
+    Alcotest.test_case "channel: fifo" `Quick test_channel_fifo;
+    Alcotest.test_case "channel: bounded send blocks" `Quick test_channel_bounded;
+    Alcotest.test_case "channel: cancel unblocks" `Quick test_channel_cancel_unblocks;
+    Alcotest.test_case "differential: paper workloads" `Quick test_differential_paper_workloads;
+    Alcotest.test_case "differential: more processors" `Quick test_differential_more_processors;
+    Alcotest.test_case "differential: 20 random loops" `Slow test_differential_random_loops;
+    Alcotest.test_case "differential: single domain" `Quick test_single_domain;
+    Alcotest.test_case "differential: full pipeline programs" `Quick test_full_sched_programs;
+    Alcotest.test_case "watchdog: broken program raises Runtime_deadlock" `Quick
+      test_watchdog_detects_deadlock;
+    Alcotest.test_case "watchdog: silent on healthy runs" `Quick test_watchdog_quiet_on_healthy_run;
+    Alcotest.test_case "timed run: cycle accounting" `Quick test_timed_run_counts_cycles;
+    Alcotest.test_case "schedule cache: memoizes" `Quick test_schedule_cache_hits;
+    Alcotest.test_case "schedule cache: key semantics" `Quick test_schedule_cache_key_semantics;
+    Alcotest.test_case "schedule cache: bounded + clear" `Quick test_schedule_cache_eviction;
+  ]
