@@ -130,10 +130,14 @@ let classify_cmd =
     Term.(const run $ workload_t $ file_t $ seed_t $ dot_t)
 
 let schedule_cmd =
-  let run workload file seed processors k iterations =
+  let run workload file seed processors k iterations validate =
     with_graph workload file seed (fun g ->
         let machine = machine_of processors k in
-        let full = Full_sched.run ~graph:g ~machine ~iterations () in
+        match Full_sched.run ~validate ~graph:g ~machine ~iterations () with
+        | exception Full_sched.Invalid_schedule m ->
+          prerr_endline ("mimdloop: schedule rejected by the independent validator: " ^ m);
+          1
+        | full ->
         print_string (Full_sched.report full);
         (match full.Full_sched.pattern with
         | Some p -> Format.printf "%a@." Pattern.pp p
@@ -145,9 +149,14 @@ let schedule_cmd =
           (Mimd_core.Metrics.percentage_parallelism ~sequential:seq ~parallel:par);
         0)
   in
+  let validate_t =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Audit the finished schedule with the independent checker (mimd_check) \
+                 before reporting; exit non-zero if it is rejected.")
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run the full pattern-based scheduling pipeline (paper Fig. 6)")
-    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t)
+    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ validate_t)
 
 let doacross_cmd =
   let run workload file seed processors k iterations exhaustive =
@@ -434,7 +443,7 @@ let run_parallel_cmd =
     end
     | Some _, Some _ -> Error "choose at most one of --file, --seed"
   in
-  let run src file seed processors k iterations timed grain_us repeat no_cache timeout =
+  let run src file seed processors k iterations timed grain_us repeat no_cache timeout fault =
     match load_loop ~src ~file ~seed with
     | Error e ->
       prerr_endline ("mimdloop: " ^ e);
@@ -473,15 +482,45 @@ let run_parallel_cmd =
         1
       end
       else begin
-        let program = Mimd_codegen.From_schedule.run schedule in
-        (match Mimd_codegen.Program.check program with
-        | [] -> ()
-        | defects ->
-          List.iter
-            (fun d -> Format.eprintf "mimdloop: program defect: %a@." Mimd_codegen.Program.pp_defect d)
-            defects);
+        match Mimd_codegen.From_schedule.run ~validate:true schedule with
+        | exception Mimd_codegen.From_schedule.Invalid_program m ->
+          prerr_endline ("mimdloop: generated program rejected by the validator: " ^ m);
+          1
+        | program ->
+        (* Deterministic fault injection, exercising the failure exits:
+           drop-send removes one message after validation (the watchdog
+           must fire), skew-init perturbs only the runtime's initial
+           memory (the value differential must report a mismatch). *)
+        let inject p =
+          match fault with
+          | `None | `Skew_init -> Ok p
+          | `Drop_send ->
+            let dropped = ref false in
+            let programs =
+              Array.map
+                (List.filter (fun instr ->
+                     match instr with
+                     | Mimd_codegen.Program.Send _ when not !dropped ->
+                       dropped := true;
+                       false
+                     | _ -> true))
+                p.Mimd_codegen.Program.programs
+            in
+            if !dropped then Ok { p with Mimd_codegen.Program.programs }
+            else Error "--inject-fault drop-send: the program sends no messages"
+        in
+        match inject program with
+        | Error e ->
+          prerr_endline ("mimdloop: " ^ e);
+          1
+        | Ok program ->
+        let run_init =
+          match fault with
+          | `Skew_init -> Some (fun a i -> Mimd_loop_ir.Interp.init a i +. 1.0)
+          | `None | `Drop_send -> None
+        in
         let watchdog = Mimd_runtime.Watchdog.config ~timeout () in
-        match Mimd_runtime.Value_run.run ~watchdog ~loop:flat ~program () with
+        match Mimd_runtime.Value_run.run ?init:run_init ~watchdog ~loop:flat ~program () with
         | exception Mimd_runtime.Watchdog.Runtime_deadlock stall ->
           prerr_endline ("mimdloop: runtime deadlock\n" ^ Mimd_runtime.Watchdog.describe stall);
           1
@@ -516,24 +555,32 @@ let run_parallel_cmd =
                 st.Mimd_runtime.Schedule_cache.entries
                 (if st.Mimd_runtime.Schedule_cache.entries = 1 then "y" else "ies")
             end;
-            if timed then begin
-              let work = Mimd_runtime.Timed_run.Sleep (grain_us *. 1e3) in
-              let par = Mimd_runtime.Timed_run.run ~watchdog ~work ~program () in
-              let seq_machine = machine_of 1 k in
-              let seq_full = sched_for seq_machine in
-              let seq_program =
-                Mimd_codegen.From_schedule.run seq_full.Full_sched.schedule
-              in
-              let seq = Mimd_runtime.Timed_run.run ~watchdog ~work ~program:seq_program () in
-              Format.printf
-                "  timed dry run (%.1f us/cycle): %d domain(s) %.2f ms, 1 domain %.2f ms \
-                 -> wall-clock speedup %.2f@."
-                grain_us par.Mimd_runtime.Timed_run.domains
-                (par.Mimd_runtime.Timed_run.makespan_ns /. 1e6)
-                (seq.Mimd_runtime.Timed_run.makespan_ns /. 1e6)
-                (Mimd_runtime.Timed_run.speedup ~baseline:seq par)
-            end;
-            0
+            if not timed then 0
+            else begin
+              match
+                let work = Mimd_runtime.Timed_run.Sleep (grain_us *. 1e3) in
+                let par = Mimd_runtime.Timed_run.run ~watchdog ~work ~program () in
+                let seq_machine = machine_of 1 k in
+                let seq_full = sched_for seq_machine in
+                let seq_program =
+                  Mimd_codegen.From_schedule.run ~validate:true seq_full.Full_sched.schedule
+                in
+                let seq = Mimd_runtime.Timed_run.run ~watchdog ~work ~program:seq_program () in
+                Format.printf
+                  "  timed dry run (%.1f us/cycle): %d domain(s) %.2f ms, 1 domain %.2f ms \
+                   -> wall-clock speedup %.2f@."
+                  grain_us par.Mimd_runtime.Timed_run.domains
+                  (par.Mimd_runtime.Timed_run.makespan_ns /. 1e6)
+                  (seq.Mimd_runtime.Timed_run.makespan_ns /. 1e6)
+                  (Mimd_runtime.Timed_run.speedup ~baseline:seq par)
+              with
+              | () -> 0
+              | exception Mimd_runtime.Watchdog.Runtime_deadlock stall ->
+                prerr_endline
+                  ("mimdloop: runtime deadlock in the timed dry run\n"
+                  ^ Mimd_runtime.Watchdog.describe stall);
+                1
+            end
         end
       end
   in
@@ -564,13 +611,149 @@ let run_parallel_cmd =
     Arg.(value & opt float 5.0 & info [ "watchdog-timeout" ] ~docv:"SECONDS"
            ~doc:"Declare a runtime deadlock after this long without progress.")
   in
+  let fault_t =
+    let faults = [ ("none", `None); ("drop-send", `Drop_send); ("skew-init", `Skew_init) ] in
+    Arg.(value & opt (enum faults) `None & info [ "inject-fault" ] ~docv:"FAULT"
+           ~doc:"Deliberately sabotage the run to demonstrate the failure exits: \
+                 $(b,drop-send) removes one message (watchdog fires), $(b,skew-init) \
+                 perturbs the runtime's initial memory (value mismatch).")
+  in
   Cmd.v
     (Cmd.info "run-parallel"
        ~doc:"Execute a compiled loop on real OCaml 5 domains (one per scheduled processor) \
              and check the values against the sequential interpreter")
     Term.(
       const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ timed_t
-      $ grain_t $ repeat_t $ no_cache_t $ timeout_t)
+      $ grain_t $ repeat_t $ no_cache_t $ timeout_t $ fault_t)
+
+let check_cmd =
+  let module V = Mimd_check.Validate in
+  let module F = Mimd_check.Fuzz in
+  let check_graph ~name ~machine ~iterations ~broken g =
+    let full = Full_sched.run ~graph:g ~machine ~iterations () in
+    let report =
+      if broken then begin
+        (* Sabotage the schedule on purpose, then check it: the report
+           must show the violation and the exit code must be non-zero. *)
+        match V.break_dependence full.Full_sched.schedule with
+        | None ->
+          {
+            V.issues = [ V.Pattern_shape "no dependence constraint available to break" ];
+            counters = [];
+          }
+        | Some bad -> V.schedule bad
+      end
+      else V.full full
+    in
+    Printf.printf "== %s (p=%d, k=%d, n=%d)%s ==\n" name machine.Config.processors
+      machine.Config.comm_estimate iterations
+      (if broken then " [deliberately broken]" else "");
+    print_string (V.render ~names:(Graph.name g) report);
+    V.ok report
+  in
+  let run workload file seed all processors k iterations broken fuzz fuzz_seed fuzz_fault
+      fuzz_out no_runtime replay =
+    let machine = machine_of processors k in
+    match replay with
+    | Some path -> begin
+      match F.load_case path with
+      | exception Sys_error e ->
+        prerr_endline ("mimdloop: " ^ e);
+        1
+      | exception Mimd_loop_ir.Parser.Error m ->
+        prerr_endline ("mimdloop: parse error: " ^ m);
+        1
+      | exception Mimd_loop_ir.Lexer.Error { position; message } ->
+        prerr_endline (Printf.sprintf "mimdloop: lex error at %d: %s" position message);
+        1
+      | case -> begin
+        let fault = if fuzz_fault then F.Hasten_dependent else F.No_fault in
+        match F.check_case ~fault ~runtime:(not no_runtime) case with
+        | Ok () ->
+          Printf.printf "replay %s: all checks passed\n" path;
+          0
+        | Error e ->
+          Printf.printf "replay %s: FAILED - %s\n" path e;
+          1
+      end
+    end
+    | None -> begin
+      match fuzz with
+      | Some count ->
+        let cfg =
+          {
+            F.count;
+            seed = fuzz_seed;
+            fault = (if fuzz_fault then F.Hasten_dependent else F.No_fault);
+            runtime = not no_runtime;
+            out_dir = fuzz_out;
+          }
+        in
+        let outcome = F.run cfg in
+        print_endline (F.describe outcome);
+        (match outcome with F.Passed _ -> 0 | F.Failed _ -> 1)
+      | None ->
+        if all || (workload = None && file = None && seed = None) then begin
+          let oks =
+            List.map
+              (fun (name, g, _) -> check_graph ~name ~machine ~iterations ~broken (g ()))
+              workloads
+          in
+          if List.for_all Fun.id oks then 0 else 1
+        end
+        else
+          with_graph workload file seed (fun g ->
+              let name = Option.value ~default:"input" workload in
+              if check_graph ~name ~machine ~iterations ~broken g then 0 else 1)
+    end
+  in
+  let all_t =
+    Arg.(value & flag & info [ "all" ] ~doc:"Check every built-in workload (the default \
+                                             when no input is given).")
+  in
+  let broken_t =
+    Arg.(value & flag & info [ "broken" ]
+           ~doc:"Deliberately violate one dependence before checking, to demonstrate \
+                 detection; the exit code is then non-zero.")
+  in
+  let fuzz_t =
+    Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N"
+           ~doc:"Instead of checking workloads, drive N random loops through the whole \
+                 pipeline with every stage audited and the values compared against the \
+                 sequential interpreter.")
+  in
+  let fuzz_seed_t =
+    Arg.(value & opt int 0 & info [ "fuzz-seed" ] ~docv:"SEED"
+           ~doc:"Generator seed for --fuzz (same seed, same cases).")
+  in
+  let fuzz_fault_t =
+    Arg.(value & flag & info [ "fuzz-fault" ]
+           ~doc:"Inject a dependence violation into every fuzzed schedule; the harness \
+                 must catch it (non-zero exit proves the oracle has teeth).")
+  in
+  let fuzz_out_t =
+    Arg.(value & opt (some string) None & info [ "fuzz-out" ] ~docv:"DIR"
+           ~doc:"Dump the shrunk counterexample of a fuzz failure as a replayable \
+                 loop-IR file in this directory.")
+  in
+  let no_runtime_t =
+    Arg.(value & flag & info [ "no-runtime" ]
+           ~doc:"Skip the real-domain (OCaml 5) execution in --fuzz/--replay; the \
+                 simulator differential still runs.")
+  in
+  let replay_t =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-run the oracle on a dumped counterexample file.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Independently validate schedules, patterns and message protocols \
+             (dependences, exclusivity, re-rolling, deadlock freedom), or fuzz the \
+             whole pipeline against the sequential interpreter")
+    Term.(
+      const run $ workload_t $ file_t $ seed_t $ all_t $ processors_t $ k_t $ iterations_t
+      $ broken_t $ fuzz_t $ fuzz_seed_t $ fuzz_fault_t $ fuzz_out_t $ no_runtime_t
+      $ replay_t)
 
 let report_cmd =
   let run output iterations =
@@ -649,7 +832,11 @@ let main_cmd =
       converge_cmd;
       verify_cmd;
       run_parallel_cmd;
+      check_cmd;
       report_cmd;
     ]
 
+(* Every ~validate:true pipeline run — here and in the tests — is
+   audited by the independent checker, not by the layers' own checks. *)
+let () = Mimd_check.Validate.install_hooks ()
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,247 @@
+module Graph = Mimd_ddg.Graph
+module Config = Mimd_machine.Config
+module Full_sched = Mimd_core.Full_sched
+module Pattern = Mimd_core.Pattern
+module Ast = Mimd_loop_ir.Ast
+module Parser = Mimd_loop_ir.Parser
+module Depend = Mimd_loop_ir.Depend
+module Value_exec = Mimd_sim.Value_exec
+module Links = Mimd_sim.Links
+module Value_run = Mimd_runtime.Value_run
+module Watchdog = Mimd_runtime.Watchdog
+
+type fault = No_fault | Hasten_dependent
+
+type case = {
+  loop : Ast.loop;
+  processors : int;
+  comm : int;
+  iterations : int;
+}
+
+type config = {
+  count : int;
+  seed : int;
+  fault : fault;
+  runtime : bool;
+  out_dir : string option;
+}
+
+let default_config =
+  { count = 200; seed = 0; fault = No_fault; runtime = true; out_dir = None }
+
+type outcome =
+  | Passed of int
+  | Failed of { case : case; reason : string; file : string option }
+
+(* ------------------------------------------------------------------ *)
+(* The oracle for one case                                             *)
+
+let ( let* ) = Result.bind
+
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Simulator and runtime must agree on the value of every (statement,
+   iteration) instance, bit for bit — not just on the final memory. *)
+let compare_instances ~sim ~rt =
+  let sort l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let sim = sort sim and rt = sort rt in
+  if List.length sim <> List.length rt then
+    Error
+      (Printf.sprintf "simulator computed %d instance(s), runtime %d"
+         (List.length sim) (List.length rt))
+  else
+    List.fold_left2
+      (fun acc ((s, i), v) ((s', i'), v') ->
+        let* () = acc in
+        if s <> s' || i <> i' then
+          Error (Printf.sprintf "instance sets differ at (%d,%d) vs (%d,%d)" s i s' i')
+        else if not (same_bits v v') then
+          Error
+            (Printf.sprintf "instance (%d,%d): simulator %h, runtime %h" s i v v')
+        else Ok ())
+      (Ok ()) sim rt
+
+let check_case ?(fault = No_fault) ?(runtime = true) case =
+  try
+    let loop =
+      if Ast.is_flat case.loop then case.loop else Mimd_loop_ir.If_convert.run case.loop
+    in
+    let graph = (Depend.analyze loop).Depend.graph in
+    let machine = Config.make ~processors:case.processors ~comm_estimate:case.comm in
+    let full = Full_sched.run ~graph ~machine ~iterations:case.iterations () in
+    let sched =
+      match fault with
+      | No_fault -> full.Full_sched.schedule
+      | Hasten_dependent -> (
+        match Validate.break_dependence full.Full_sched.schedule with
+        | Some broken -> broken
+        | None -> full.Full_sched.schedule (* nothing to break: vacuous case *))
+    in
+    let names = Graph.name graph in
+    (* Validation first: an injected (or real) schedule bug must be
+       reported without ever executing the broken programs. *)
+    let* () = Validate.error_of ~names (Validate.schedule sched) in
+    let* () =
+      match full.Full_sched.pattern with
+      | None -> Ok ()
+      | Some p -> Validate.error_of ~names:(Graph.name p.Pattern.graph) (Validate.pattern p)
+    in
+    let program = Mimd_codegen.From_schedule.run sched in
+    let* () = Validate.error_of ~names (Validate.program program) in
+    (* Value differential on the simulator... *)
+    let sim = Value_exec.run ~loop ~program ~links:(Links.fixed (max 1 case.comm)) () in
+    let* () =
+      Result.map_error (( ^ ) "simulator vs interpreter: ")
+        (Value_exec.check_against_sequential ~loop ~iterations:case.iterations sim)
+    in
+    if not runtime then Ok ()
+    else begin
+      (* ... and on real domains. *)
+      let watchdog = Watchdog.config ~timeout:30.0 () in
+      let rt = Value_run.run ~watchdog ~loop ~program () in
+      let* () =
+        Result.map_error (( ^ ) "runtime vs interpreter: ")
+          (Value_run.check_against_sequential ~loop ~iterations:case.iterations rt)
+      in
+      compare_instances ~sim:sim.Value_exec.instance_values
+        ~rt:rt.Value_run.instance_values
+    end
+  with e -> Error ("exception: " ^ Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Replayable counterexample files                                     *)
+
+let render_case case =
+  Format.asprintf
+    "# mimd-check fuzz counterexample (replay: mimdloop check --replay <file>)@\n\
+     # processors: %d@\n\
+     # comm: %d@\n\
+     # iterations: %d@\n\
+     %a@."
+    case.processors case.comm case.iterations Ast.pp_loop case.loop
+
+let sanitize_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let dump_case ?(name = "mimd-fuzz-counterexample.loop") ~dir ~reason case =
+  let path = Filename.concat dir name in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        (Printf.sprintf "# reason: %s\n" (sanitize_line reason));
+      Out_channel.output_string oc (render_case case));
+  path
+
+let load_case path =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let header key default =
+    let prefix = "# " ^ key ^ ":" in
+    List.fold_left
+      (fun acc line ->
+        let line = String.trim line in
+        if acc = default && String.starts_with ~prefix line then
+          let rest =
+            String.sub line (String.length prefix) (String.length line - String.length prefix)
+          in
+          Option.value ~default (int_of_string_opt (String.trim rest))
+        else acc)
+      default
+      (String.split_on_char '\n' src)
+  in
+  {
+    loop = Parser.parse src;
+    processors = header "processors" 2;
+    comm = header "comm" 2;
+    iterations = header "iterations" 10;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The QCheck harness                                                  *)
+
+(* Random flat loops, the shape of Random_loop.generate_loop: every
+   statement writes offset 0 of one of a few arrays, reads use offsets
+   in {-1, 0}, so dependence distances stay in the scheduler's {0, 1}.
+   Operators exclude division to keep the float differential free of
+   NaN/infinity plumbing. *)
+let gen_case =
+  QCheck2.Gen.(
+    let arrays = [| "A"; "B"; "C"; "D" |] in
+    let gen_ref =
+      let* arr = int_range 0 (Array.length arrays - 1) in
+      let* off = int_range (-1) 0 in
+      return (Ast.Ref { array = arrays.(arr); offset = off })
+    in
+    let rec gen_expr depth =
+      if depth = 0 then oneof [ gen_ref; map (fun k -> Ast.Int k) (int_range 1 5) ]
+      else
+        oneof
+          [
+            gen_ref;
+            map (fun k -> Ast.Int k) (int_range 1 5);
+            (let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul ] in
+             let* a = gen_expr (depth - 1) in
+             let* b = gen_expr (depth - 1) in
+             return (Ast.Binop (op, a, b)));
+          ]
+    in
+    let* nstmts = int_range 1 6 in
+    let* body =
+      list_size (return nstmts)
+        (let* arr = int_range 0 (Array.length arrays - 1) in
+         let* rhs = gen_expr 2 in
+         return (Ast.Assign { array = arrays.(arr); offset = 0; rhs }))
+    in
+    let* processors = int_range 2 4 in
+    let* comm = int_range 0 2 in
+    let* iterations = int_range 4 14 in
+    return
+      { loop = { Ast.index = "i"; lo = "1"; hi = "n"; body }; processors; comm; iterations })
+
+let print_case case =
+  (* What QCheck prints for a (shrunk) counterexample — same format as
+     the dumped file, so it can be pasted back and replayed. *)
+  render_case case
+
+let run cfg =
+  (* QCheck2's integrated shrinking re-runs the property on ever
+     smaller candidates and stops at a minimal failing one — so the
+     last failure the property itself observes IS the shrunk case. *)
+  let last_failure = ref None in
+  let prop case =
+    match check_case ~fault:cfg.fault ~runtime:cfg.runtime case with
+    | Ok () -> true
+    | Error reason ->
+      last_failure := Some (case, reason);
+      false
+  in
+  let cell =
+    QCheck2.Test.make_cell ~name:"mimd-check cross-layer fuzz" ~count:cfg.count
+      ~print:print_case gen_case prop
+  in
+  let result = QCheck2.Test.check_cell ~rand:(Random.State.make [| cfg.seed |]) cell in
+  if QCheck2.TestResult.is_success result then Passed cfg.count
+  else
+    match !last_failure with
+    | None ->
+      (* unreachable in practice: the property never raises *)
+      Failed
+        {
+          case = { loop = { Ast.index = "i"; lo = "1"; hi = "n"; body = [] };
+                   processors = 2; comm = 2; iterations = 1 };
+          reason = "fuzz failed without a recorded counterexample";
+          file = None;
+        }
+    | Some (case, reason) ->
+      let file =
+        Option.map (fun dir -> dump_case ~dir ~reason case) cfg.out_dir
+      in
+      Failed { case; reason; file }
+
+let describe = function
+  | Passed n -> Printf.sprintf "fuzz: %d case(s) passed" n
+  | Failed { case; reason; file } ->
+    Printf.sprintf "fuzz: FAILED — %s\nshrunk counterexample:\n%s%s" reason
+      (render_case case)
+      (match file with
+      | Some path -> Printf.sprintf "dumped to %s (replay: mimdloop check --replay %s)" path path
+      | None -> "")

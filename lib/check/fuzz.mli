@@ -1,0 +1,83 @@
+(** Cross-layer property-fuzzing oracle.
+
+    Hundreds of seeded random loops and machine shapes are driven
+    through the whole pipeline — dependence analysis, full scheduling,
+    code generation — and every stage's output is audited:
+
+    + the schedule by the independent checker ({!Validate.schedule});
+    + the steady-state pattern re-rolled for several trip counts
+      ({!Validate.pattern});
+    + the emitted message protocol ({!Validate.program});
+    + the computed {e values}, differentially: the simulated parallel
+      execution ({!Mimd_sim.Value_exec}) and the real-domain runtime
+      ({!Mimd_runtime.Value_run}) must both match the sequential
+      interpreter ({!Mimd_loop_ir.Interp}) bit for bit, and must match
+      each other instance by instance.
+
+    Failures are shrunk by QCheck to a minimal loop and dumped as a
+    replayable loop-IR file ([# key: value] headers carry the machine
+    shape; the lexer treats them as comments, so the file parses as
+    is).  The {!fault} injection knob exists to prove the oracle has
+    teeth: [Hasten_dependent] moves one dependent instance a single
+    cycle too early after scheduling, and the harness must catch it. *)
+
+type fault =
+  | No_fault
+  | Hasten_dependent
+      (** after scheduling, hasten one dependent instance to one cycle
+          before its earliest legal start ({!Validate.break_dependence});
+          the oracle is expected to flag every such case *)
+
+type case = {
+  loop : Mimd_loop_ir.Ast.loop;  (** flat, distances in [{0, 1}] *)
+  processors : int;
+  comm : int;  (** the paper's [k] *)
+  iterations : int;  (** trip count for scheduling and execution *)
+}
+
+type config = {
+  count : int;  (** random cases to try *)
+  seed : int;  (** generator seed — same seed, same cases *)
+  fault : fault;
+  runtime : bool;
+      (** also execute every case on real OCaml 5 domains (slower);
+          the simulator differential always runs *)
+  out_dir : string option;
+      (** where to dump the shrunk counterexample on failure *)
+}
+
+val default_config : config
+(** 200 cases, seed 0, no fault, runtime differential on, no dump. *)
+
+type outcome =
+  | Passed of int  (** all cases passed; the count actually run *)
+  | Failed of {
+      case : case;  (** the {e shrunk} minimal failing case *)
+      reason : string;
+      file : string option;  (** dumped counterexample, if requested *)
+    }
+
+val check_case : ?fault:fault -> ?runtime:bool -> case -> (unit, string) result
+(** The oracle for one case.  Never raises: pipeline exceptions are
+    returned as [Error].  With a fault injected, validation runs
+    {e before} any execution, so a broken schedule is reported without
+    ever running its programs. *)
+
+val run : config -> outcome
+(** Generate, check, shrink, dump. *)
+
+val render_case : case -> string
+(** The replayable file format: [#]-comment headers (processors, comm,
+    iterations) followed by the loop source. *)
+
+val dump_case : ?name:string -> dir:string -> reason:string -> case -> string
+(** Write {!render_case} (plus the failure reason as a comment) under
+    [dir]; returns the path.  [name] defaults to
+    ["mimd-fuzz-counterexample.loop"]. *)
+
+val load_case : string -> case
+(** Parse a dumped counterexample (or any loop-IR file; missing
+    headers default to 2 processors, k = 2, 10 iterations).
+    @raise Mimd_loop_ir.Parser.Error / [Sys_error] as reading does. *)
+
+val describe : outcome -> string

@@ -1,7 +1,19 @@
 module Graph = Mimd_ddg.Graph
 module Schedule = Mimd_core.Schedule
 
-let run sched =
+exception Invalid_program of string
+
+let validator : (Program.t -> (unit, string) result) ref =
+  ref (fun p ->
+      match Program.check p with
+      | [] -> Ok ()
+      | d :: rest ->
+        Error
+          (Format.asprintf "%a%s" Program.pp_defect d
+             (if rest = [] then ""
+              else Printf.sprintf " (+%d more defect(s))" (List.length rest))))
+
+let run ?(validate = false) sched =
   let graph = Schedule.graph sched in
   let machine = Schedule.machine sched in
   let processors = machine.Mimd_machine.Config.processors in
@@ -60,4 +72,10 @@ let run sched =
           end)
         (List.sort_uniq compare consumers))
     (Schedule.entries sched);
-  { Program.graph; processors; programs = Array.map List.rev programs }
+  let p = { Program.graph; processors; programs = Array.map List.rev programs } in
+  if validate then begin
+    match !validator p with
+    | Ok () -> ()
+    | Error msg -> raise (Invalid_program msg)
+  end;
+  p

@@ -11,7 +11,20 @@
     cross-processor dependence waits exactly [k]); with slack the
     simulated makespan can only be smaller. *)
 
-val run : Mimd_core.Schedule.t -> Program.t
+exception Invalid_program of string
+(** Raised by {!run} with [~validate:true] when the installed
+    {!validator} rejects the emitted programs. *)
+
+val validator : (Program.t -> (unit, string) result) ref
+(** The check applied by [~validate:true].  Defaults to the in-layer
+    {!Program.check}; the independent checker ([Mimd_check], which this
+    library cannot depend on) replaces it at start-up with its
+    token-simulation protocol check via
+    [Mimd_check.Validate.install_hooks]. *)
+
+val run : ?validate:bool -> Mimd_core.Schedule.t -> Program.t
 (** Dependences whose producer instance lies outside the schedule
     (negative iteration) need no message.  Entries must form a closed
-    schedule — see {!Mimd_core.Schedule.validate}. *)
+    schedule — see {!Mimd_core.Schedule.validate}.  With
+    [~validate:true] the emitted programs are passed to the installed
+    {!validator}; @raise Invalid_program if it reports a defect. *)

@@ -4,6 +4,11 @@ module Config = Mimd_machine.Config
 
 type strategy = Separate | Folded | Auto
 
+exception Invalid_schedule of string
+
+let validator : (Schedule.t -> (unit, string) result) ref =
+  ref (fun sched -> Schedule.validate sched)
+
 type t = {
   schedule : Schedule.t;
   classification : Classify.t;
@@ -116,8 +121,8 @@ let run_doall ~graph:g ~machine ~iterations cls =
     folded = false;
   }
 
-let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ~graph ~machine
-    ~iterations () =
+let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ?(validate = false)
+    ~graph ~machine ~iterations () =
   if iterations <= 0 then invalid_arg "Full_sched.run: iterations <= 0";
   if fold_tolerance < 0.0 then invalid_arg "Full_sched.run: negative fold_tolerance";
   let mapping = Unwind.normalize graph in
@@ -125,27 +130,35 @@ let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ~gr
   let copies = mapping.Unwind.copies in
   let iterations = (iterations + copies - 1) / copies in
   let cls = Classify.run g in
-  if Classify.is_doall cls then run_doall ~graph:g ~machine ~iterations cls
-  else begin
-    match strategy with
-    | Separate -> run_separate ~max_iterations ~graph:g ~machine ~iterations cls
-    | Folded -> run_folded ~max_iterations ~graph:g ~machine ~iterations cls
-    | Auto -> begin
-      (* A Cyclic core whose weakly-connected components advance at
-         different rates never settles into a joint pattern (the paper
-         schedules such components independently); fall back to the
-         folded greedy, which needs no pattern. *)
-      match run_separate ~max_iterations ~graph:g ~machine ~iterations cls with
-      | separate ->
-        let folded = run_folded ~max_iterations ~graph:g ~machine ~iterations cls in
-        let ms = Schedule.makespan separate.schedule in
-        let mf = Schedule.makespan folded.schedule in
-        if float_of_int mf <= float_of_int ms *. (1.0 +. fold_tolerance) then folded
-        else separate
-      | exception Cyclic_sched.No_pattern _ ->
-        run_folded ~max_iterations ~graph:g ~machine ~iterations cls
+  let t =
+    if Classify.is_doall cls then run_doall ~graph:g ~machine ~iterations cls
+    else begin
+      match strategy with
+      | Separate -> run_separate ~max_iterations ~graph:g ~machine ~iterations cls
+      | Folded -> run_folded ~max_iterations ~graph:g ~machine ~iterations cls
+      | Auto -> begin
+        (* A Cyclic core whose weakly-connected components advance at
+           different rates never settles into a joint pattern (the paper
+           schedules such components independently); fall back to the
+           folded greedy, which needs no pattern. *)
+        match run_separate ~max_iterations ~graph:g ~machine ~iterations cls with
+        | separate ->
+          let folded = run_folded ~max_iterations ~graph:g ~machine ~iterations cls in
+          let ms = Schedule.makespan separate.schedule in
+          let mf = Schedule.makespan folded.schedule in
+          if float_of_int mf <= float_of_int ms *. (1.0 +. fold_tolerance) then folded
+          else separate
+        | exception Cyclic_sched.No_pattern _ ->
+          run_folded ~max_iterations ~graph:g ~machine ~iterations cls
+      end
     end
-  end
+  in
+  if validate then begin
+    match !validator t.schedule with
+    | Ok () -> ()
+    | Error msg -> raise (Invalid_schedule msg)
+  end;
+  t
 
 let parallel_time t = Schedule.makespan t.schedule
 

@@ -19,6 +19,17 @@
 
 type strategy = Separate | Folded | Auto
 
+exception Invalid_schedule of string
+(** Raised by {!run} with [~validate:true] when the installed
+    {!validator} rejects the complete schedule. *)
+
+val validator : (Schedule.t -> (unit, string) result) ref
+(** The check applied by [~validate:true].  Defaults to the in-layer
+    {!Schedule.validate}; the independent checker ([Mimd_check], which
+    this library cannot depend on) replaces it at start-up via
+    [Mimd_check.Validate.install_hooks], so validated pipelines are
+    cross-checked by code that shares nothing with the scheduler. *)
+
 type t = {
   schedule : Schedule.t;
       (** complete schedule of the whole graph over all processors
@@ -42,6 +53,7 @@ val run :
   ?strategy:strategy ->
   ?fold_tolerance:float ->
   ?max_iterations:int ->
+  ?validate:bool ->
   graph:Mimd_ddg.Graph.t ->
   machine:Mimd_machine.Config.t ->
   iterations:int ->
@@ -55,6 +67,9 @@ val run :
     iteration counts are scaled accordingly (and an extra partial
     unwound iteration may be scheduled to cover the requested trip
     count).
+    With [~validate:true] the finished schedule is passed to the
+    installed {!validator} and {!Invalid_schedule} is raised if it
+    reports a violation.
     @raise Invalid_argument on non-positive [iterations].
     @raise Cyclic_sched.No_pattern when the pattern search exceeds
     [max_iterations]. *)

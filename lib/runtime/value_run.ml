@@ -13,8 +13,10 @@ type outcome = {
   makespan_ns : float;
 }
 
+let default_channel_capacity = 256
+
 let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
-    ?(channel_capacity = 256) ~loop ~program () =
+    ?(channel_capacity = default_channel_capacity) ~loop ~program () =
   if not (Ast.is_flat loop) then invalid_arg "Value_run.run: loop must be flat";
   let stmts = Array.of_list (Ast.assignments loop) in
   let graph = program.Program.graph in

@@ -33,6 +33,12 @@ type outcome = {
   makespan_ns : float;  (** max over [domain_wall_ns] *)
 }
 
+val default_channel_capacity : int
+(** Per-channel message bound used by {!run} when [?channel_capacity]
+    is omitted.  Exposed so independent auditors (notably
+    {!Mimd_check.Validate.program}'s token simulation) model the same
+    bound the real mesh enforces. *)
+
 val run :
   ?init:(string -> int -> float) ->
   ?scalars:(string -> float) ->

@@ -80,9 +80,23 @@ let generate_loop ?(min_stmts = 2) ?(max_stmts = 6) ~seed () =
       Ast.Binop (op, gen_expr (depth - 1), gen_expr (depth - 1))
   in
   let nstmts = Prng.int_in rng ~lo:min_stmts ~hi:max_stmts in
-  let body =
-    List.init nstmts (fun _ ->
-        let array = loop_arrays.(Prng.int rng (Array.length loop_arrays)) in
-        Ast.Assign { array; offset = 0; rhs = gen_expr 2 })
+  (* Each statement past the first reads the array its predecessor
+     writes, so consecutive statements always share a dependence edge
+     (flow at distance 0 or 1, by the Depend rules) and the DDG is
+     weakly connected — a random rhs alone could leave constant-only
+     statements isolated. *)
+  let rec build s prev acc =
+    if s = nstmts then List.rev acc
+    else begin
+      let array = loop_arrays.(Prng.int rng (Array.length loop_arrays)) in
+      let rhs = gen_expr 2 in
+      let rhs =
+        match prev with
+        | None -> rhs
+        | Some chained ->
+          Ast.Binop (Ast.Add, Ast.Ref { array = chained; offset = -Prng.int rng 2 }, rhs)
+      in
+      build (s + 1) (Some array) (Ast.Assign { array; offset = 0; rhs } :: acc)
+    end
   in
-  { Ast.index = "i"; lo = "1"; hi = "n"; body }
+  { Ast.index = "i"; lo = "1"; hi = "n"; body = build 0 None [] }

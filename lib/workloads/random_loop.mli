@@ -38,5 +38,8 @@ val generate_loop :
 (** A seeded random {e loop-IR program} (not just a graph): a flat
     loop of [min_stmts]..[max_stmts] (default 2..6) assignments over a
     small array pool, reads at offsets in [{-1, 0}] so dependence
-    distances stay within the scheduler's [{0, 1}].  Deterministic in
-    [seed]; feeds the runtime/simulator differential tests. *)
+    distances stay within the scheduler's [{0, 1}].  Each statement
+    past the first reads its predecessor's array, so the dependence
+    graph is always weakly connected (the scheduler's precondition) —
+    test-enforced, along with distances and latencies.  Deterministic
+    in [seed]; feeds the runtime/simulator differential tests. *)

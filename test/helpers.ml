@@ -73,6 +73,38 @@ let gen_any_graph =
     in
     return (latencies, edges))
 
+(* One seed for every property test in the run: QCHECK_SEED pins it
+   (reproduction), otherwise it is drawn fresh.  Announced on stderr
+   when a property fails, so the failure line itself says how to
+   replay it — alcotest captures stdout, and the library's own
+   seed banner is printed whether or not anything failed. *)
+let qcheck_seed =
+  lazy
+    (match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+    | Some seed -> seed
+    | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000)
+
 let qtest ?(count = 100) name gen print prop =
+  let seed = Lazy.force qcheck_seed in
+  let announced = ref false in
+  let announce () =
+    if not !announced then begin
+      announced := true;
+      Printf.eprintf "\n[qcheck] %S failed; reproduce with QCHECK_SEED=%d\n%!" name seed
+    end
+  in
+  let prop x =
+    match prop x with
+    | true -> true
+    | false ->
+      announce ();
+      false
+    | exception e ->
+      announce ();
+      raise e
+  in
   QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed |])
     (QCheck2.Test.make ~name ~count ~print gen prop)

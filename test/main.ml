@@ -24,4 +24,6 @@ let () =
       ("theory", Test_theory.suite);
       ("integration", Test_integration.suite);
       ("runtime", Test_runtime.suite);
+      ("check", Test_check.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -99,6 +99,24 @@ let test_differential_random_loops () =
     differential ~name:(Printf.sprintf "random seed %d" seed) ~p ~iterations:12 loop
   done
 
+let test_differential_3_and_4_domains () =
+  (* Odd and even domain counts stress different schedule shapes; only
+     run the counts this machine can actually execute in parallel. *)
+  let counts = List.filter (fun p -> p <= Domain.recommended_domain_count ()) [ 3; 4 ] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (name, src) ->
+          differential
+            ~name:(Printf.sprintf "%s on %d domains" name p)
+            ~p ~iterations:15 (Parser.parse src))
+        [
+          ("fig1", Mimd_workloads.Fig1.source);
+          ("fig7", Mimd_workloads.Fig7.source);
+          ("elliptic", Mimd_workloads.Elliptic.source);
+        ])
+    counts
+
 let test_single_domain () =
   differential ~name:"fig7 on 1 domain" ~p:1 (Parser.parse Mimd_workloads.Fig7.source)
 
@@ -233,6 +251,7 @@ let suite =
     Alcotest.test_case "differential: paper workloads" `Quick test_differential_paper_workloads;
     Alcotest.test_case "differential: more processors" `Quick test_differential_more_processors;
     Alcotest.test_case "differential: 20 random loops" `Slow test_differential_random_loops;
+    Alcotest.test_case "differential: 3 and 4 domains" `Quick test_differential_3_and_4_domains;
     Alcotest.test_case "differential: single domain" `Quick test_single_domain;
     Alcotest.test_case "differential: full pipeline programs" `Quick test_full_sched_programs;
     Alcotest.test_case "watchdog: broken program raises Runtime_deadlock" `Quick

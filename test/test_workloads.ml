@@ -147,6 +147,23 @@ let test_all_schedulable () =
         (Mimd_core.Schedule.validate full.Mimd_core.Full_sched.schedule = Ok ()))
     (all_graphs ())
 
+(* The loop generator's contract with the scheduler: every generated
+   loop's DDG is weakly connected (each statement reads its
+   predecessor's array), dependence distances stay in {0, 1} (read
+   offsets in {-1, 0}), and every node has a positive latency. *)
+let prop_generate_loop_wellformed =
+  qtest ~count:200 "random: generated loop DDGs well-formed"
+    QCheck2.Gen.(int_range 1 1_000_000)
+    string_of_int
+    (fun seed ->
+      let loop = W.Random_loop.generate_loop ~seed () in
+      let g = (Mimd_loop_ir.Depend.analyze loop).Mimd_loop_ir.Depend.graph in
+      Graph.is_connected g
+      && List.for_all
+           (fun (e : Graph.edge) -> e.distance >= 0 && e.distance <= 1)
+           (Graph.edges g)
+      && List.for_all (fun (n : Graph.node) -> n.latency >= 1) (Graph.nodes g))
+
 let suite =
   [
     Alcotest.test_case "all workloads connected" `Quick test_all_connected;
@@ -166,4 +183,5 @@ let suite =
     Alcotest.test_case "iir4: distance 2" `Quick test_iir4_needs_unwinding;
     Alcotest.test_case "kernel sources analyse" `Quick test_kernel_sources_parse;
     Alcotest.test_case "all workloads schedulable" `Quick test_all_schedulable;
+    prop_generate_loop_wellformed;
   ]
