@@ -125,6 +125,107 @@ let runtime_comparison () =
   rows
 
 (* ---------------------------------------------------------------- *)
+(* Part 2b: the compile service — batch throughput and the two cache
+   tiers.  Mirrors `mimdloop batch`: the same Service + Pool pair,
+   driven over an in-memory corpus so the measurement does not depend
+   on the working directory.                                          *)
+
+type server_stats = {
+  corpus_size : int;
+  sched_iterations : int;
+  host_domains : int;  (* Domain.recommended_domain_count: cores seen *)
+  cold_jobs1_s : float;
+  cold_jobs4_s : float;
+  cold_speedup : float;
+  warm_s : float;
+  warm_speedup_vs_cold : float;
+  warm_disk_hits : int;
+  warm_disk_misses : int;
+}
+
+let server_comparison () =
+  let module Server = Mimd_server in
+  (* Distinct fingerprints via distinct array names; multiply-heavy
+     recurrences keep each compile non-trivial. *)
+  let corpus =
+    List.init 24 (fun j ->
+        Printf.sprintf
+          "for i = 1 to n { A%d[i] = (A%d[i-1] * A%d[i-1] + B%d[i-1]) * C%d[i]; B%d[i] \
+           = A%d[i] + B%d[i-1] * C%d[i]; C%d[i] = B%d[i] * C%d[i-1]; }"
+          j j j j j j j j j j j j)
+  in
+  let machine = Config.make ~processors:2 ~comm_estimate:2 in
+  let sched_iterations = 600 in
+  let tmp_dir () =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mimd-bench-%d-%d" (Unix.getpid ()) (Random.bits ()))
+    in
+    Unix.mkdir dir 0o755;
+    dir
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let run ~jobs ~dir =
+    let svc = Server.Service.create ~disk:(Server.Disk_cache.create ~dir) () in
+    let pool = Server.Pool.create ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun loop ->
+        Server.Pool.submit pool (fun () ->
+            ignore (Server.Service.compile svc ~loop ~machine ~iterations:sched_iterations ())))
+      corpus;
+    Server.Pool.quiesce pool;
+    let dt = Unix.gettimeofday () -. t0 in
+    Server.Pool.shutdown pool;
+    (dt, Server.Service.disk_stats svc)
+  in
+  let dir1 = tmp_dir () and dir4 = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir1; rm_rf dir4) @@ fun () ->
+  let cold_jobs1_s, _ = run ~jobs:1 ~dir:dir1 in
+  let cold_jobs4_s, _ = run ~jobs:4 ~dir:dir4 in
+  (* A fresh service over the jobs-4 directory: every request should
+     come back from the disk tier. *)
+  let warm_s, warm_disk = run ~jobs:4 ~dir:dir4 in
+  let warm_disk_hits, warm_disk_misses =
+    match warm_disk with
+    | Some d -> (d.Server.Disk_cache.hits, d.Server.Disk_cache.misses)
+    | None -> (0, 0)
+  in
+  let stats =
+    {
+      corpus_size = List.length corpus;
+      sched_iterations;
+      host_domains = Domain.recommended_domain_count ();
+      cold_jobs1_s;
+      cold_jobs4_s;
+      cold_speedup = cold_jobs1_s /. cold_jobs4_s;
+      warm_s;
+      warm_speedup_vs_cold = cold_jobs1_s /. warm_s;
+      warm_disk_hits;
+      warm_disk_misses;
+    }
+  in
+  print_endline "\n=== SERVER (batch compile throughput, two-tier cache) ===";
+  Printf.printf "%d loops x %d iterations, %d core(s) visible\n" stats.corpus_size
+    stats.sched_iterations stats.host_domains;
+  Printf.printf "cold --jobs 1: %.3f s\ncold --jobs 4: %.3f s  (speedup %.2fx)\n"
+    stats.cold_jobs1_s stats.cold_jobs4_s stats.cold_speedup;
+  if stats.cold_speedup < 1.0 && stats.host_domains < 4 then
+    Printf.printf
+      "  (jobs > cores: compile is CPU-bound, so extra domains only add \
+       stop-the-world GC barriers on this host)\n";
+  Printf.printf "warm --jobs 4: %.3f s  (%.0fx vs cold, disk hits %d, misses %d)\n"
+    stats.warm_s stats.warm_speedup_vs_cold stats.warm_disk_hits stats.warm_disk_misses;
+  flush stdout;
+  stats
+
+(* ---------------------------------------------------------------- *)
 (* Machine-readable results: BENCH_results.json                       *)
 
 let json_escape s =
@@ -139,7 +240,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~runtime_rows ~bechamel_rows path =
+let write_json ~runtime_rows ~server ~bechamel_rows path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": 1,\n  \"generated_by\": \"bench/main.exe\",\n";
   Buffer.add_string b "  \"runtime\": [\n";
@@ -154,7 +255,17 @@ let write_json ~runtime_rows ~bechamel_rows path =
            r.sequential_cycles r.wall_parallel_ns r.wall_1domain_ns r.wall_speedup
            (if i = List.length runtime_rows - 1 then "" else ",")))
     runtime_rows;
-  Buffer.add_string b "  ],\n  \"bechamel_median_ns\": {\n";
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"server_batch\": {\"corpus_size\": %d, \"iterations\": %d, \
+        \"host_domains\": %d, \"cold_jobs1_s\": %.4f, \"cold_jobs4_s\": %.4f, \
+        \"cold_speedup\": %.3f, \"warm_jobs4_s\": %.4f, \"warm_speedup_vs_cold\": \
+        %.1f, \"warm_disk_hits\": %d, \"warm_disk_misses\": %d},\n"
+       server.corpus_size server.sched_iterations server.host_domains
+       server.cold_jobs1_s server.cold_jobs4_s server.cold_speedup server.warm_s
+       server.warm_speedup_vs_cold server.warm_disk_hits server.warm_disk_misses);
+  Buffer.add_string b "  \"bechamel_median_ns\": {\n";
   List.iteri
     (fun i (name, ns) ->
       Buffer.add_string b
@@ -273,5 +384,6 @@ let benchmark () =
 let () =
   reproduce ();
   let runtime_rows = runtime_comparison () in
+  let server = server_comparison () in
   let bechamel_rows = benchmark () in
-  write_json ~runtime_rows ~bechamel_rows "BENCH_results.json"
+  write_json ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"

@@ -755,6 +755,122 @@ let check_cmd =
       $ broken_t $ fuzz_t $ fuzz_seed_t $ fuzz_fault_t $ fuzz_out_t $ no_runtime_t
       $ replay_t)
 
+(* ------------------------------------------------------------------ *)
+(* The compile service: serve (stdio / Unix socket) and batch           *)
+
+let jobs_t =
+  let doc =
+    "Worker domains in the compile pool (default: the runtime's recommended domain \
+     count, capped at 8)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_t =
+  let doc =
+    "Directory of the persistent schedule cache (default: \\$XDG_CACHE_HOME/mimdloop or \
+     ~/.cache/mimdloop)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_disk_cache_t =
+  Arg.(value & flag & info [ "no-disk-cache" ] ~doc:"Disable the on-disk schedule cache.")
+
+let validate_sched_t =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Audit every freshly computed schedule with the independent checker \
+               (mimd_check) before it is cached; rejected schedules produce a structured \
+               error instead of an entry.")
+
+let queue_depth_t =
+  Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+         ~doc:"Bound on the work queue; a full queue blocks readers and accepts \
+               (backpressure).")
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some _ -> 1
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate =
+  let disk =
+    if no_disk_cache then None
+    else
+      Some
+        (Mimd_server.Disk_cache.create
+           ~dir:(Option.value ~default:(Mimd_server.Disk_cache.default_dir ()) cache_dir))
+  in
+  let service = Mimd_server.Service.create ?disk ~validate () in
+  let pool = Mimd_server.Pool.create ~queue_depth ~jobs:(resolve_jobs jobs) () in
+  let server = Mimd_server.Server.create ~service ~pool () in
+  (server, pool)
+
+let serve_cmd =
+  let run stdio socket jobs queue_depth cache_dir no_disk_cache validate =
+    let server, pool =
+      make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate
+    in
+    let code =
+      match (stdio, socket) with
+      | true, None -> Mimd_server.Server.serve_stdio server
+      | false, Some path -> Mimd_server.Server.serve_socket server ~path
+      | true, Some _ ->
+        prerr_endline "mimdloop: choose one of --stdio, --socket";
+        1
+      | false, None ->
+        prerr_endline "mimdloop: serve needs --stdio or --socket PATH";
+        1
+    in
+    Mimd_server.Pool.shutdown pool;
+    code
+  in
+  let stdio_t =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve newline-delimited JSON on stdin/stdout (one request per line; \
+                 replies carry the request id and may be reordered).")
+  in
+  let socket_t =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve the same protocol on a Unix domain socket bound at $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running schedule-compilation service: a pool of OCaml 5 domains behind \
+             a two-tier (memory + disk) schedule cache, speaking newline-delimited JSON")
+    Term.(
+      const run $ stdio_t $ socket_t $ jobs_t $ queue_depth_t $ cache_dir_t
+      $ no_disk_cache_t $ validate_sched_t)
+
+let batch_cmd =
+  let run paths jobs queue_depth cache_dir no_disk_cache validate processors k iterations
+      deadline_ms =
+    let server, pool =
+      make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate
+    in
+    let machine = machine_of processors k in
+    let code =
+      Mimd_server.Server.batch server ~machine ~iterations ?deadline_ms ~paths ()
+    in
+    Mimd_server.Pool.shutdown pool;
+    code
+  in
+  let paths_t =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH"
+           ~doc:"Loop-IR files, or directories searched recursively for *.loop files.")
+  in
+  let deadline_t =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-file compile deadline; a blown deadline is a structured error (and \
+                 a non-zero exit).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile and report a whole corpus of loops in parallel on the compile \
+             service's worker pool (same caches as serve, no socket); exits non-zero if \
+             any file fails")
+    Term.(
+      const run $ paths_t $ jobs_t $ queue_depth_t $ cache_dir_t $ no_disk_cache_t
+      $ validate_sched_t $ processors_t $ k_t $ iterations_t $ deadline_t)
+
 let report_cmd =
   let run output iterations =
     let text = Mimd_experiments.Report.generate ~iterations () in
@@ -833,10 +949,30 @@ let main_cmd =
       verify_cmd;
       run_parallel_cmd;
       check_cmd;
+      serve_cmd;
+      batch_cmd;
       report_cmd;
     ]
 
 (* Every ~validate:true pipeline run — here and in the tests — is
    audited by the independent checker, not by the layers' own checks. *)
 let () = Mimd_check.Validate.install_hooks ()
-let () = exit (Cmd.eval' main_cmd)
+
+(* A reader that stops consuming (mimdloop ... | head) breaks stdout;
+   with SIGPIPE ignored that surfaces as Sys_error EPIPE from the
+   at_exit flush of the std formatter, turning a clean exit into
+   "Fatal error".  If stdout is already broken, point fd 1 at
+   /dev/null so the remaining buffered output drains harmlessly and
+   the exit code survives. *)
+let () =
+  let code = Cmd.eval' main_cmd in
+  (try
+     Format.pp_print_flush Format.std_formatter ();
+     flush stdout
+   with Sys_error _ -> (
+     try
+       let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+       Unix.dup2 null Unix.stdout;
+       Unix.close null
+     with Unix.Unix_error _ -> ()));
+  exit code

@@ -2,29 +2,57 @@ module Graph = Mimd_ddg.Graph
 module Config = Mimd_machine.Config
 module Full_sched = Mimd_core.Full_sched
 
+(* Intrusive doubly-linked recency list: [head] is most recently used,
+   [tail] least.  Every hashtable entry owns exactly one node. *)
+type node = {
+  key : string;
+  value : Full_sched.t;
+  mutable prev : node option;  (* towards the head (more recent) *)
+  mutable next : node option;  (* towards the tail (less recent) *)
+}
+
 type t = {
   capacity : int;
-  table : (string, Full_sched.t) Hashtbl.t;
-  order : string Queue.t;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 let create ?(capacity = 128) () =
   if capacity < 1 then invalid_arg "Schedule_cache.create: capacity < 1";
   {
     capacity;
     table = Hashtbl.create 64;
-    order = Queue.create ();
+    head = None;
+    tail = None;
     mutex = Mutex.create ();
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let global = create ()
+let capacity t = t.capacity
+
+(* List surgery; all callers hold the mutex. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
 
 let kind_tag = function
   | Graph.Generic -> 'g'
@@ -68,41 +96,62 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let find t ~key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        (* LRU: a hit promotes the entry to most-recently-used. *)
+        unlink t n;
+        push_front t n;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t ~key value =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        if Hashtbl.length t.table >= t.capacity then begin
+          match t.tail with
+          | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key;
+            t.evictions <- t.evictions + 1
+          | None -> ()
+        end;
+        let n = { key; value; prev = None; next = None } in
+        push_front t n;
+        Hashtbl.replace t.table key n
+      end)
+
 let find_or_compute ?strategy ?fold_tolerance ?max_iterations t ~graph ~machine
     ~iterations () =
   let key = fingerprint ?strategy ?fold_tolerance ?max_iterations ~graph ~machine ~iterations () in
-  match
-    with_lock t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some full ->
-          t.hits <- t.hits + 1;
-          Some full
-        | None -> None)
-  with
+  match find t ~key with
   | Some full -> full
   | None ->
     (* Compute outside the lock: scheduling can be slow and other
        domains may want unrelated entries meanwhile.  A racing miss on
        the same key just computes twice and stores a equivalent value. *)
     let full = Full_sched.run ?strategy ?fold_tolerance ?max_iterations ~graph ~machine ~iterations () in
-    with_lock t (fun () ->
-        t.misses <- t.misses + 1;
-        if not (Hashtbl.mem t.table key) then begin
-          if Queue.length t.order >= t.capacity then begin
-            let oldest = Queue.pop t.order in
-            Hashtbl.remove t.table oldest
-          end;
-          Hashtbl.replace t.table key full;
-          Queue.push key t.order
-        end);
+    add t ~key full;
     full
 
 let stats t =
-  with_lock t (fun () -> { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        entries = Hashtbl.length t.table;
+        evictions = t.evictions;
+      })
 
 let clear t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;
-      Queue.clear t.order;
+      t.head <- None;
+      t.tail <- None;
       t.hits <- 0;
-      t.misses <- 0)
+      t.misses <- 0;
+      t.evictions <- 0)

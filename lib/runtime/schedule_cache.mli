@@ -10,17 +10,20 @@
     communication cost), the trip count and the strategy parameters —
     so a hit is guaranteed to be the schedule the scheduler would have
     recomputed.  Repeated [run-parallel] invocations of the same loop
-    skip rescheduling entirely: the first step toward serving many
-    requests over a fixed loop corpus.
+    skip rescheduling entirely, and the compile service
+    ([Mimd_server]) uses this table as the first tier in front of its
+    on-disk store.
 
     The cache is domain-safe (a mutex guards every operation) and
-    bounded: beyond [capacity] entries the oldest is evicted (FIFO —
-    the workload we optimise for is "the same loops over and over",
-    where eviction order hardly matters). *)
+    bounded: beyond [capacity] entries the {e least recently used}
+    entry is evicted — a hit promotes its entry to most-recently-used,
+    so the hot subset of a skewed request mix stays resident while
+    one-off loops age out.  [stats] reports how many entries were
+    evicted this way. *)
 
 type t
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 val create : ?capacity:int -> unit -> t
 (** [capacity] defaults to 128.  @raise Invalid_argument if
@@ -28,6 +31,8 @@ val create : ?capacity:int -> unit -> t
 
 val global : t
 (** A process-wide cache shared by the CLI and benchmarks. *)
+
+val capacity : t -> int
 
 val fingerprint :
   ?strategy:Mimd_core.Full_sched.strategy ->
@@ -38,8 +43,19 @@ val fingerprint :
   iterations:int ->
   unit ->
   string
-(** The hex digest used as cache key (exposed for tests and for
-    logging cache behaviour). *)
+(** The hex digest used as cache key (exposed for tests, for logging
+    cache behaviour, and as the content address of the on-disk store). *)
+
+val find : t -> key:string -> Mimd_core.Full_sched.t option
+(** Tier-1 lookup.  A hit bumps the [hits] counter and promotes the
+    entry (LRU); a miss bumps [misses].  Exposed so a caller layering
+    further tiers below this one (the server's disk store) can
+    interpose between lookup and compute. *)
+
+val add : t -> key:string -> Mimd_core.Full_sched.t -> unit
+(** Insert, evicting the least recently used entry when full.  A key
+    already present is left untouched (first write wins; racing misses
+    store equivalent values anyway). *)
 
 val find_or_compute :
   ?strategy:Mimd_core.Full_sched.strategy ->

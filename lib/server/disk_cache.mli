@@ -1,0 +1,45 @@
+(** Content-addressed persistent schedule store — the second cache
+    tier of the compile service, behind the in-memory
+    {!Mimd_runtime.Schedule_cache}.
+
+    Entries are keyed by {!Mimd_runtime.Schedule_cache.fingerprint}
+    (a digest of everything the scheduler reads), sharded two hex
+    digits deep ([<dir>/ab/abcdef....sched]).  Each file carries a
+    version stamp — format version {e and} exact OCaml version, since
+    [Marshal] is not stable across compilers — and an MD5 digest of
+    the payload.  A stale stamp, a digest mismatch, a truncated file
+    or an undeserialisable payload all read as "not cached" (the
+    caller recompiles and overwrites); the store never raises on a
+    bad entry.  Writes go through a temp file and [rename], so
+    concurrent readers and crashed writers cannot observe torn
+    entries.
+
+    The service persists an entry only after the independent
+    validator accepted it (when validation is on), so a warm store
+    holds proven schedules only. *)
+
+type t
+
+type stats = { hits : int; misses : int; stores : int; store_errors : int }
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/mimdloop], else [~/.cache/mimdloop], else a
+    directory under the system temp dir. *)
+
+val create : dir:string -> t
+(** No I/O happens until the first {!find}/{!store}; the directory is
+    created lazily on first store. *)
+
+val dir : t -> string
+
+val path_of : t -> key:string -> string
+(** Where this key lives on disk (exposed for tests, which corrupt
+    entries on purpose). *)
+
+val find : t -> key:string -> Mimd_core.Full_sched.t option
+val store : t -> key:string -> Mimd_core.Full_sched.t -> unit
+(** Best-effort: an unwritable cache directory counts a
+    [store_errors] and is otherwise silent — a broken cache must
+    never break compilation. *)
+
+val stats : t -> stats

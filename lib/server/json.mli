@@ -1,0 +1,41 @@
+(** Minimal JSON: just enough for the newline-delimited wire protocol
+    of {!Protocol}, with no third-party dependency.
+
+    Numbers parse to [Int] when they are exact OCaml integers and to
+    [Float] otherwise; [to_string] emits a single line (no pretty
+    printing, no trailing newline) so one value maps to one protocol
+    frame.  Strings are assumed UTF-8; [\uXXXX] escapes decode to
+    UTF-8 bytes.  NaN and infinities print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (with an offset). *)
+
+val parse_opt : string -> t option
+
+val to_string : t -> string
+(** Compact single-line rendering; [parse (to_string v)] = [v] for
+    finite values. *)
+
+val escape : string -> string
+(** The string-body escaping used by {!to_string} (exposed for the
+    hand-rolled emitters in [bench/]). *)
+
+(** {1 Accessors} — [None] on shape mismatch, never an exception. *)
+
+val member : string -> t -> t option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)

@@ -1,0 +1,121 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  depth : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  idle : Condition.t;
+  mutable busy : int;  (* workers currently running a job *)
+  mutable closed : bool;
+  mutable executed : int;
+  mutable max_depth_seen : int;
+  mutable workers : unit Domain.t array;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* closed and drained: exit *)
+      Mutex.unlock t.mutex;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.busy <- t.busy + 1;
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      (* A job must not kill its worker: jobs that can fail report
+         through their own reply channel, and anything escaping here
+         is a bug we contain rather than propagate. *)
+      (try job () with _ -> ());
+      Mutex.lock t.mutex;
+      t.busy <- t.busy - 1;
+      t.executed <- t.executed + 1;
+      if t.busy = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(queue_depth = 64) ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  if queue_depth < 1 then invalid_arg "Pool.create: queue_depth < 1";
+  let t =
+    {
+      queue = Queue.create ();
+      depth = queue_depth;
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      idle = Condition.create ();
+      busy = 0;
+      closed = false;
+      executed = 0;
+      max_depth_seen = 0;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (worker t));
+  t
+
+let jobs t = Array.length t.workers
+
+let submit t job =
+  Mutex.lock t.mutex;
+  while Queue.length t.queue >= t.depth && not t.closed do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  t.max_depth_seen <- max t.max_depth_seen (Queue.length t.queue);
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+let wait_capacity t =
+  Mutex.lock t.mutex;
+  while Queue.length t.queue >= t.depth && not t.closed do
+    Condition.wait t.not_full t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let quiesce t =
+  Mutex.lock t.mutex;
+  while not (Queue.is_empty t.queue && t.busy = 0) do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let max_depth_seen t =
+  Mutex.lock t.mutex;
+  let n = t.max_depth_seen in
+  Mutex.unlock t.mutex;
+  n
+
+let executed t =
+  Mutex.lock t.mutex;
+  let n = t.executed in
+  Mutex.unlock t.mutex;
+  n
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let first = not t.closed in
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  if first then Array.iter Domain.join t.workers

@@ -1,0 +1,42 @@
+(** Fixed pool of OCaml 5 domains draining a bounded work queue — the
+    execution engine behind [mimdloop serve] and [mimdloop batch].
+
+    The queue depth is the server's backpressure valve: {!submit}
+    blocks while the queue is full, which stalls the submitting
+    connection reader, which stalls the client, which (via
+    {!wait_capacity} in the accept loop) stalls new accepts — load
+    sheds at the edge instead of ballooning in memory.
+
+    Jobs are opaque thunks; anything they raise is swallowed (a job
+    that can fail must report through its own reply channel — the
+    server always converts failures to structured error replies
+    before they reach the pool). *)
+
+type t
+
+val create : ?queue_depth:int -> jobs:int -> unit -> t
+(** Spawn [jobs] worker domains.  [queue_depth] (default 64) bounds
+    the backlog.  @raise Invalid_argument if either is < 1. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue; blocks while the queue is at capacity (backpressure).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val wait_capacity : t -> unit
+(** Block until the queue has room (or the pool is shut down) without
+    submitting — used by the accept loop so a saturated server stops
+    accepting new connections. *)
+
+val quiesce : t -> unit
+(** Block until the queue is empty and every worker is idle: all work
+    submitted so far has finished.  The pool stays usable. *)
+
+val queue_depth : t -> int
+val max_depth_seen : t -> int
+val executed : t -> int
+
+val shutdown : t -> unit
+(** Stop accepting work, drain the remaining queue, join all worker
+    domains.  Idempotent. *)

@@ -1,0 +1,249 @@
+module Full_sched = Mimd_core.Full_sched
+module Schedule_cache = Mimd_runtime.Schedule_cache
+module Config = Mimd_machine.Config
+
+type error = { kind : Protocol.error_kind; message : string }
+
+type outcome = {
+  result : Protocol.compiled;
+  full : Full_sched.t;
+  graph : Mimd_ddg.Graph.t;
+}
+
+type t = {
+  memory : Schedule_cache.t;
+  disk : Disk_cache.t option;
+  validate : bool;
+  mutex : Mutex.t;
+  mutable requests : int;
+  mutable errors : int;
+  (* per-stage service latencies, milliseconds, newest first *)
+  mutable parse_ms : float list;
+  mutable schedule_ms : float list;
+  mutable validate_ms : float list;
+  mutable total_ms : float list;
+}
+
+let create ?(memory_capacity = 256) ?disk ?(validate = false) () =
+  {
+    memory = Schedule_cache.create ~capacity:memory_capacity ();
+    disk;
+    validate;
+    mutex = Mutex.create ();
+    requests = 0;
+    errors = 0;
+    parse_ms = [];
+    schedule_ms = [];
+    validate_ms = [];
+    total_ms = [];
+  }
+
+let validate_default t = t.validate
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let now_ms () = Unix.gettimeofday () *. 1e3
+
+let err kind fmt = Printf.ksprintf (fun message -> Error { kind; message }) fmt
+
+(* ---------------------------------------------------------------- *)
+(* The request path: parse -> tier-1 -> tier-2 -> compute+validate.   *)
+
+let parse_loop source =
+  match Mimd_loop_ir.Parser.parse source with
+  | exception Mimd_loop_ir.Parser.Error m -> err Protocol.Parse "parse error: %s" m
+  | exception Mimd_loop_ir.Lexer.Error { position; message } ->
+    err Protocol.Parse "lex error at %d: %s" position message
+  | loop ->
+    let flat =
+      if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
+    in
+    Ok (Mimd_loop_ir.Depend.analyze flat).Mimd_loop_ir.Depend.graph
+
+let past deadline = match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+
+let compute t ~graph ~machine ~iterations ~validate =
+  match Full_sched.run ~graph ~machine ~iterations () with
+  | exception Mimd_core.Cyclic_sched.No_pattern m ->
+    err Protocol.Schedule "no pattern: %s" m
+  | exception Invalid_argument m -> err Protocol.Schedule "%s" m
+  | full ->
+    if not validate then Ok (full, 0.0)
+    else begin
+      let t0 = now_ms () in
+      let report = Mimd_check.Validate.full full in
+      let dt = now_ms () -. t0 in
+      with_lock t (fun () -> t.validate_ms <- dt :: t.validate_ms);
+      match Mimd_check.Validate.error_of ~names:(Mimd_ddg.Graph.name graph) report with
+      | Ok () -> Ok (full, dt)
+      | Error m -> err Protocol.Validation "schedule rejected: %s" m
+    end
+
+let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
+  let started = now_ms () in
+  let finish tier full =
+    let makespan = Full_sched.parallel_time full in
+    let sequential = Mimd_doacross.Sequential.time graph ~iterations in
+    let elapsed_ms = now_ms () -. started in
+    {
+      result =
+        {
+          Protocol.tier;
+          makespan;
+          processors = Full_sched.total_processors full;
+          pattern = Option.is_some full.Full_sched.pattern;
+          folded = full.Full_sched.folded;
+          sequential;
+          percentage_parallelism =
+            Mimd_core.Metrics.percentage_parallelism ~sequential ~parallel:makespan;
+          elapsed_ms;
+        };
+      full;
+      graph;
+    }
+  in
+  if past deadline then err Protocol.Deadline "deadline elapsed before compilation began"
+  else begin
+    let key = Schedule_cache.fingerprint ~graph ~machine ~iterations () in
+    match Schedule_cache.find t.memory ~key with
+    | Some full -> Ok (finish Protocol.Memory_hit full)
+    | None -> (
+      let from_disk = Option.bind t.disk (fun d -> Disk_cache.find d ~key) in
+      match from_disk with
+      | Some full ->
+        (* Promote to tier 1 so the next hit skips the disk. *)
+        Schedule_cache.add t.memory ~key full;
+        Ok (finish Protocol.Disk_hit full)
+      | None -> (
+        let t0 = now_ms () in
+        match compute t ~graph ~machine ~iterations ~validate with
+        | Error e -> Error e
+        | Ok (full, validate_ms) ->
+          let dt = now_ms () -. t0 -. validate_ms in
+          with_lock t (fun () -> t.schedule_ms <- dt :: t.schedule_ms);
+          (* Only proven schedules are persisted (when validation is
+             on, which it was just above for this very entry). *)
+          Schedule_cache.add t.memory ~key full;
+          Option.iter (fun d -> Disk_cache.store d ~key full) t.disk;
+          if past deadline then
+            err Protocol.Deadline "deadline elapsed during compilation (result cached)"
+          else Ok (finish Protocol.Computed full)))
+  end
+
+let compile t ?deadline ?validate ~loop ~machine ~iterations () =
+  let validate = Option.value ~default:t.validate validate in
+  let started = now_ms () in
+  let record outcome =
+    let elapsed = now_ms () -. started in
+    with_lock t (fun () ->
+        t.requests <- t.requests + 1;
+        t.total_ms <- elapsed :: t.total_ms;
+        match outcome with Error _ -> t.errors <- t.errors + 1 | Ok _ -> ())
+  in
+  let t0 = now_ms () in
+  let parsed = parse_loop loop in
+  let parse_dt = now_ms () -. t0 in
+  with_lock t (fun () -> t.parse_ms <- parse_dt :: t.parse_ms);
+  let outcome =
+    match parsed with
+    | Error e -> Error e
+    | Ok graph -> compile_graph t ?deadline ~validate ~graph ~machine ~iterations ()
+  in
+  record outcome;
+  outcome
+
+let compile_params t ?deadline (p : Protocol.compile_params) =
+  let machine = Config.make ~processors:p.Protocol.processors ~comm_estimate:p.Protocol.k in
+  compile t ?deadline ?validate:p.Protocol.validate ~loop:p.Protocol.loop ~machine
+    ~iterations:p.Protocol.iterations ()
+
+(* ---------------------------------------------------------------- *)
+(* Stats                                                              *)
+
+let latency_json samples =
+  match samples with
+  | [] -> Json.Obj [ ("count", Json.Int 0) ]
+  | _ ->
+    let module S = Mimd_util.Stats in
+    Json.Obj
+      [
+        ("count", Json.Int (List.length samples));
+        ("mean_ms", Json.Float (S.mean samples));
+        ("p50_ms", Json.Float (S.percentile 50.0 samples));
+        ("p90_ms", Json.Float (S.percentile 90.0 samples));
+        ("p99_ms", Json.Float (S.percentile 99.0 samples));
+        ("max_ms", Json.Float (S.maximum samples));
+        ( "histogram",
+          Json.List
+            (List.map
+               (fun (lo, hi, n) ->
+                 Json.List [ Json.Float lo; Json.Float hi; Json.Int n ])
+               (S.histogram ~bins:8 samples)) );
+      ]
+
+let stats_json ?pool t =
+  let requests, errors, parse_ms, schedule_ms, validate_ms, total_ms =
+    with_lock t (fun () ->
+        (t.requests, t.errors, t.parse_ms, t.schedule_ms, t.validate_ms, t.total_ms))
+  in
+  let mem = Schedule_cache.stats t.memory in
+  let memory_json =
+    Json.Obj
+      [
+        ("hits", Json.Int mem.Schedule_cache.hits);
+        ("misses", Json.Int mem.Schedule_cache.misses);
+        ("entries", Json.Int mem.Schedule_cache.entries);
+        ("evictions", Json.Int mem.Schedule_cache.evictions);
+        ("capacity", Json.Int (Schedule_cache.capacity t.memory));
+      ]
+  in
+  let disk_json =
+    match t.disk with
+    | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+    | Some d ->
+      let s = Disk_cache.stats d in
+      Json.Obj
+        [
+          ("enabled", Json.Bool true);
+          ("dir", Json.String (Disk_cache.dir d));
+          ("hits", Json.Int s.Disk_cache.hits);
+          ("misses", Json.Int s.Disk_cache.misses);
+          ("stores", Json.Int s.Disk_cache.stores);
+          ("store_errors", Json.Int s.Disk_cache.store_errors);
+        ]
+  in
+  let pool_json =
+    match pool with
+    | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+    | Some p ->
+      Json.Obj
+        [
+          ("enabled", Json.Bool true);
+          ("jobs", Json.Int (Pool.jobs p));
+          ("queue_depth", Json.Int (Pool.queue_depth p));
+          ("max_queue_depth", Json.Int (Pool.max_depth_seen p));
+          ("executed", Json.Int (Pool.executed p));
+        ]
+  in
+  Json.Obj
+    [
+      ("requests", Json.Int requests);
+      ("errors", Json.Int errors);
+      ("validate", Json.Bool t.validate);
+      ("memory_cache", memory_json);
+      ("disk_cache", disk_json);
+      ("pool", pool_json);
+      ( "latency",
+        Json.Obj
+          [
+            ("parse", latency_json parse_ms);
+            ("schedule", latency_json schedule_ms);
+            ("validate", latency_json validate_ms);
+            ("total", latency_json total_ms);
+          ] );
+    ]
+
+let memory_stats t = Schedule_cache.stats t.memory
+let disk_stats t = Option.map Disk_cache.stats t.disk

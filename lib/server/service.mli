@@ -1,0 +1,65 @@
+(** The compile service: loop-IR in, proven schedule out, answered
+    from a two-tier cache.
+
+    Tier 1 is an in-memory {!Mimd_runtime.Schedule_cache} (LRU);
+    tier 2 an optional {!Disk_cache}.  A disk hit is promoted into
+    memory; a full miss runs {!Mimd_core.Full_sched.run}, optionally
+    audits the result with the independent checker
+    ({!Mimd_check.Validate.full}) and persists it to both tiers —
+    with validation on, the disk store only ever holds schedules the
+    oracle accepted.
+
+    All entry points are domain-safe: this is exactly the object the
+    {!Pool} workers hammer concurrently.  Failures come back as
+    structured {!error}s carrying a {!Protocol.error_kind}, never as
+    exceptions (scheduler and parser exceptions are caught and
+    classified). *)
+
+type t
+
+type error = { kind : Protocol.error_kind; message : string }
+
+type outcome = {
+  result : Protocol.compiled;
+  full : Mimd_core.Full_sched.t;
+  graph : Mimd_ddg.Graph.t;
+}
+
+val create : ?memory_capacity:int -> ?disk:Disk_cache.t -> ?validate:bool -> unit -> t
+(** [memory_capacity] defaults to 256 entries; no [disk] means tier 2
+    is off; [validate] (default false) audits every fresh schedule
+    before it is cached. *)
+
+val validate_default : t -> bool
+
+val compile :
+  t ->
+  ?deadline:float ->
+  ?validate:bool ->
+  loop:string ->
+  machine:Mimd_machine.Config.t ->
+  iterations:int ->
+  unit ->
+  (outcome, error) result
+(** Serve one request.  [deadline] is an absolute
+    [Unix.gettimeofday] instant: if it has passed before compilation
+    starts the request fails fast with kind [Deadline]; if it passes
+    {e during} compilation the result is still cached (the work is
+    done — the next identical request hits) but this request reports
+    [Deadline].  [validate] overrides the service default for this
+    request only. *)
+
+val compile_params :
+  t -> ?deadline:float -> Protocol.compile_params -> (outcome, error) result
+(** {!compile} driven by a decoded protocol request (the request's
+    own [validate] field, when present, wins over the default). *)
+
+val stats_json : ?pool:Pool.t -> t -> Json.t
+(** The payload of a [stats] reply: request/error counts, both cache
+    tiers (hits/misses/entries/evictions, stores), optional pool
+    gauges (jobs, queue depth, executed), and per-stage latency
+    summaries (count, mean, p50/p90/p99, max, 8-bin histogram) for
+    parse / schedule / validate / total, via {!Mimd_util.Stats}. *)
+
+val memory_stats : t -> Mimd_runtime.Schedule_cache.stats
+val disk_stats : t -> Disk_cache.stats option

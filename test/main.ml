@@ -25,5 +25,6 @@ let () =
       ("integration", Test_integration.suite);
       ("runtime", Test_runtime.suite);
       ("check", Test_check.suite);
+      ("server", Test_server.suite);
       ("cli", Test_cli.suite);
     ]

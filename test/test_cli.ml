@@ -33,6 +33,49 @@ let test_run_parallel_mismatch_exits_nonzero () =
   check_bool "skewed init fails" true
     (command "run-parallel --src fig7 -k 0 -n 10 --inject-fault skew-init" <> 0)
 
+(* serve/batch: the end-to-end surface of lib/server.  Each test gets
+   its own cache dir so runs can't contaminate each other. *)
+
+let shell cmd = Sys.command (cmd ^ " > /dev/null 2>&1")
+
+let with_tmp_dir prefix f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect f ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)));
+  dir
+
+let test_serve_stdio_roundtrip () =
+  let dir = with_tmp_dir "mimd-cli-serve" Fun.id in
+  let requests =
+    {|{"id":1,"op":"compile","loop":"for i = 1 to n { X[i] = X[i-1] + Y[i]; }"}
+{"id":2,"op":"compile","loop":"for i = 1 to n { X[i] = X[i-1] + Y[i]; }"}
+{"id":3,"op":"shutdown"}|}
+  in
+  let cmd =
+    Printf.sprintf "printf %s | %s serve --stdio --jobs 1 --cache-dir %s > /dev/null 2>&1"
+      (Filename.quote (requests ^ "\n"))
+      exe (Filename.quote dir)
+  in
+  check_int "serve --stdio exits 0 after shutdown" 0 (Sys.command cmd)
+
+let test_batch_examples () =
+  let dir = with_tmp_dir "mimd-cli-batch" Fun.id in
+  let examples = Filename.concat ".." (Filename.concat "examples" "loops") in
+  let batch jobs =
+    shell
+      (Printf.sprintf "%s batch %s --jobs %d --cache-dir %s" exe
+         (Filename.quote examples) jobs (Filename.quote dir))
+  in
+  check_int "cold batch exits 0" 0 (batch 2);
+  check_int "warm batch exits 0" 0 (batch 2);
+  check_bool "missing corpus exits non-zero" true
+    (shell (Printf.sprintf "%s batch /no/such/corpus --cache-dir %s" exe
+              (Filename.quote dir))
+    <> 0)
+
 let test_run_parallel_deadlock_exits_nonzero () =
   (* drop-send removes one message after validation; the watchdog must
      fire and the exit code must say so. *)
@@ -54,4 +97,6 @@ let suite =
       test_run_parallel_mismatch_exits_nonzero;
     Alcotest.test_case "cli: run-parallel deadlock exits non-zero" `Quick
       test_run_parallel_deadlock_exits_nonzero;
+    Alcotest.test_case "cli: serve --stdio roundtrip" `Quick test_serve_stdio_roundtrip;
+    Alcotest.test_case "cli: batch examples corpus" `Quick test_batch_examples;
   ]
