@@ -240,6 +240,24 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Medians of the two compile-hot-path kernels as committed after PR 3,
+   before the indexed-state / packed-key / CSR / event-driven rework —
+   kept hardcoded so every later run reports its speedup against the
+   same fixed reference. *)
+let pr3_baseline_ns =
+  [
+    ("mimdloop kernel: greedy schedule ewf x100", 9084007.8);
+    ("mimdloop kernel: simulate ewf x100 mm=5", 16080984.0);
+  ]
+
+let speedup_rows bechamel_rows =
+  List.filter_map
+    (fun (name, pr3) ->
+      match List.assoc_opt name bechamel_rows with
+      | Some (Some now) -> Some (name, pr3, now, pr3 /. now)
+      | _ -> None)
+    pr3_baseline_ns
+
 let write_json ~runtime_rows ~server ~bechamel_rows path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": 1,\n  \"generated_by\": \"bench/main.exe\",\n";
@@ -273,6 +291,17 @@ let write_json ~runtime_rows ~server ~bechamel_rows path =
            (match ns with Some v -> Printf.sprintf "%.1f" v | None -> "null")
            (if i = List.length bechamel_rows - 1 then "" else ",")))
     bechamel_rows;
+  Buffer.add_string b "  },\n";
+  let speedups = speedup_rows bechamel_rows in
+  Buffer.add_string b "  \"speedup_vs_pr3\": {\n";
+  List.iteri
+    (fun i (name, pr3, now, speedup) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    \"%s\": {\"pr3_ns\": %.1f, \"now_ns\": %.1f, \"speedup\": %.2f}%s\n"
+           (json_escape name) pr3 now speedup
+           (if i = List.length speedups - 1 then "" else ",")))
+    speedups;
   Buffer.add_string b "  }\n}\n";
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
   Printf.printf "\nwrote %s\n" path
@@ -381,9 +410,61 @@ let benchmark () =
     estimated;
   estimated
 
+(* ---------------------------------------------------------------- *)
+(* Quick mode: just the two compile-hot-path kernels, hand-timed with
+   a bounded run count and no bechamel warmup, so CI can smoke-test
+   the hot path on every PR in a couple of seconds.                   *)
+
+let quick () =
+  let median_ns ~runs f =
+    let samples =
+      Array.init runs (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          (Unix.gettimeofday () -. t0) *. 1e9)
+    in
+    Array.sort compare samples;
+    samples.(runs / 2)
+  in
+  let ewf = W.Elliptic.graph () in
+  let m2 = Config.make ~processors:2 ~comm_estimate:2 in
+  let kernels =
+    [
+      ( "mimdloop kernel: greedy schedule ewf x100",
+        fun () ->
+          ignore
+            (Mimd_core.Cyclic_sched.schedule_iterations ~graph:ewf ~machine:m2
+               ~iterations:100 ()) );
+      ( "mimdloop kernel: simulate ewf x100 mm=5",
+        fun () ->
+          let schedule =
+            Mimd_core.Cyclic_sched.schedule_iterations ~graph:ewf ~machine:m2 ~iterations:100 ()
+          in
+          let links = Mimd_sim.Links.uniform ~base:2 ~mm:5 ~seed:9 in
+          ignore (Mimd_sim.Exec.simulate_schedule ~schedule ~links ()) );
+    ]
+  in
+  print_endline "=== quick bench (hot-path kernels, 9 runs, median) ===";
+  let failed = ref false in
+  List.iter
+    (fun (name, f) ->
+      let ns = median_ns ~runs:9 f in
+      let note =
+        match List.assoc_opt name pr3_baseline_ns with
+        | Some pr3 -> Printf.sprintf "  (%.2fx vs PR-3 %.1f ms)" (pr3 /. ns) (pr3 /. 1e6)
+        | None -> ""
+      in
+      if ns <= 0.0 then failed := true;
+      Printf.printf "%-45s %12.1f ns%s\n" name ns note)
+    kernels;
+  if !failed then exit 1
+
 let () =
-  reproduce ();
-  let runtime_rows = runtime_comparison () in
-  let server = server_comparison () in
-  let bechamel_rows = benchmark () in
-  write_json ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"
+  if Array.exists (( = ) "--quick") Sys.argv then quick ()
+  else begin
+    reproduce ();
+    let runtime_rows = runtime_comparison () in
+    let server = server_comparison () in
+    let bechamel_rows = benchmark () in
+    write_json ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"
+  end

@@ -912,6 +912,55 @@ let procs_cmd =
     (Cmd.info "procs" ~doc:"Find the cheapest processor count for the Cyclic core")
     Term.(const run $ workload_t $ file_t $ seed_t $ k_t $ max_t)
 
+let fingerprint_cmd =
+  let run workload file seed files processors k iterations =
+    let machine = machine_of processors k in
+    let fp g = Full_sched.output_fingerprint (Full_sched.run ~graph:g ~machine ~iterations ()) in
+    if files <> [] then begin
+      let failed = ref false in
+      List.iter
+        (fun path ->
+          match load_graph ~workload:None ~file:(Some path) ~seed:None with
+          | Error e ->
+            prerr_endline ("mimdloop: " ^ path ^ ": " ^ e);
+            failed := true
+          | Ok g -> begin
+            match fp g with
+            | h -> Printf.printf "%s  %s\n" h (Filename.basename path)
+            | exception Cyclic_sched.No_pattern m ->
+              prerr_endline ("mimdloop: " ^ path ^ ": " ^ m);
+              failed := true
+          end)
+        (List.sort compare files);
+      if !failed then 1 else 0
+    end
+    else
+      with_graph workload file seed (fun g ->
+          let label =
+            match (workload, file, seed) with
+            | Some w, _, _ -> w
+            | _, Some f, _ -> Filename.basename f
+            | _, _, Some s -> Printf.sprintf "seed-%d" s
+            | _ -> "input"
+          in
+          match fp g with
+          | h ->
+            Printf.printf "%s  %s\n" h label;
+            0
+          | exception Cyclic_sched.No_pattern m ->
+            prerr_endline ("mimdloop: " ^ m);
+            1)
+  in
+  let files_t =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILES"
+           ~doc:"Loop source files to fingerprint (sorted; one line each).")
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:"Print a canonical 64-bit digest of the compiled schedule, for golden diffs")
+    Term.(
+      const run $ workload_t $ file_t $ seed_t $ files_t $ processors_t $ k_t $ iterations_t)
+
 let random_cmd =
   let run seed =
     let g = W.Random_loop.generate ~seed () in
@@ -944,6 +993,7 @@ let main_cmd =
       extensions_cmd;
       gantt_cmd;
       procs_cmd;
+      fingerprint_cmd;
       export_cmd;
       converge_cmd;
       verify_cmd;

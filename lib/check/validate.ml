@@ -41,8 +41,21 @@ let schedule ?(complete = true) sched =
   (* (b) exclusivity and latency occupancy, cell by cell: an instance
      of latency L claims exactly the L cells [start, start + L) of its
      processor's timeline, and no cell may be claimed twice.  This is
-     deliberately not the scheduler's sorted-interval scan. *)
-  let occ : (int * int, Schedule.instance) Hashtbl.t =
+     deliberately not the scheduler's sorted-interval scan.  The cell
+     table is keyed on the int-packed (cycle, proc) pair — one word to
+     hash per cell instead of a boxed tuple, and this sweep visits
+     every busy cycle of the schedule. *)
+  let max_proc, min_start =
+    List.fold_left
+      (fun (mp, ms) (e : Schedule.entry) -> (max mp e.proc, min ms e.start))
+      (0, 0) entries
+  in
+  let proc_bits =
+    let rec go b = if max_proc < 1 lsl b then b else go (b + 1) in
+    go 1
+  in
+  let cell_key ~proc ~cycle = ((cycle - min_start) lsl proc_bits) lor proc in
+  let occ : (int, Schedule.instance) Hashtbl.t =
     Hashtbl.create (4 * List.length entries)
   in
   let reported : (Schedule.instance * Schedule.instance, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -51,8 +64,9 @@ let schedule ?(complete = true) sched =
     (fun (e : Schedule.entry) ->
       for c = e.start to e.start + Graph.latency g e.inst.node - 1 do
         incr cells;
-        match Hashtbl.find_opt occ (e.proc, c) with
-        | None -> Hashtbl.replace occ (e.proc, c) e.inst
+        let k = cell_key ~proc:e.proc ~cycle:c in
+        match Hashtbl.find_opt occ k with
+        | None -> Hashtbl.replace occ k e.inst
         | Some other ->
           if not (Hashtbl.mem reported (other, e.inst)) then begin
             Hashtbl.replace reported (other, e.inst) ();
@@ -320,26 +334,30 @@ let error_of ~names r =
 
 let break_dependence sched =
   let g = Schedule.graph sched in
+  let csr = Graph.csr g in
   let m = Schedule.machine sched in
   let entries = Schedule.entries sched in
   let candidate =
     List.find_map
       (fun (succ : Schedule.entry) ->
-        List.find_map
-          (fun (edge : Graph.edge) ->
-            let pi = succ.inst.iter - edge.distance in
-            if pi < 0 then None
+        (* first match in (src, distance) order, as Graph.preds lists *)
+        Graph.fold_preds csr succ.inst.node
+          (fun acc (edge : Graph.edge) ->
+            if acc <> None then acc
             else
-              match Schedule.find sched { node = edge.src; iter = pi } with
-              | None -> None
-              | Some pred ->
-                let comm = if pred.proc = succ.proc then 0 else Config.edge_cost m edge in
-                let earliest = pred.start + Graph.latency g pred.inst.node + comm in
-                (* hastening to earliest - 1 needs earliest >= 1, and
-                   must actually move the entry *)
-                if earliest >= 1 && succ.start >= earliest then Some (succ, earliest - 1)
-                else None)
-          (Graph.preds g succ.inst.node))
+              let pi = succ.inst.iter - edge.distance in
+              if pi < 0 then None
+              else
+                match Schedule.find sched { node = edge.src; iter = pi } with
+                | None -> None
+                | Some pred ->
+                  let comm = if pred.proc = succ.proc then 0 else Config.edge_cost m edge in
+                  let earliest = pred.start + Graph.latency g pred.inst.node + comm in
+                  (* hastening to earliest - 1 needs earliest >= 1, and
+                     must actually move the entry *)
+                  if earliest >= 1 && succ.start >= earliest then Some (succ, earliest - 1)
+                  else None)
+          None)
       entries
   in
   match candidate with

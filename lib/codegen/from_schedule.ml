@@ -15,63 +15,79 @@ let validator : (Program.t -> (unit, string) result) ref =
 
 let run ?(validate = false) sched =
   let graph = Schedule.graph sched in
+  let csr = Graph.csr graph in
   let machine = Schedule.machine sched in
   let processors = machine.Mimd_machine.Config.processors in
-  let have : (int, (int * int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
-  let have_on proc =
-    match Hashtbl.find_opt have proc with
-    | Some tbl -> tbl
-    | None ->
-      let tbl = Hashtbl.create 256 in
-      Hashtbl.replace have proc tbl;
-      tbl
+  let entries = Schedule.entries sched in
+  (* Every (node, iter) pair is identified by the int iter * n + node
+     below; flat arrays over the instance space replace a balanced-map
+     search per incident edge.  The arrays are Θ(entries x processors)
+     bytes — proportional to the schedule itself. *)
+  let n = Graph.node_count graph in
+  let iterations =
+    List.fold_left (fun acc (e : Schedule.entry) -> max acc (e.inst.iter + 1)) 0 entries
   in
-  let sent : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let inst_key ~node ~iter = (iter * n) + node in
+  let inst_cap = max 1 (n * iterations) in
+  let placed = Array.make inst_cap (-1) in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      placed.(inst_key ~node:e.inst.node ~iter:e.inst.iter) <- e.proc)
+    entries;
+  let proc_of ~node ~iter =
+    let k = inst_key ~node ~iter in
+    if k < inst_cap then placed.(k) else -1
+  in
+  (* have.[k*p + q]: processor q holds instance k; sent.[k*p + q]: the
+     producer already sent instance k to q. *)
+  let have = Bytes.make (inst_cap * processors) '\000' in
+  let sent = Bytes.make (inst_cap * processors) '\000' in
   let programs = Array.make processors [] in
   let emit proc instr = programs.(proc) <- instr :: programs.(proc) in
   List.iter
     (fun (e : Schedule.entry) ->
       let v = e.inst.node and i = e.inst.iter in
-      let local = have_on e.proc in
       (* Receives for off-processor operands, in the consistent order. *)
       let wanted =
-        List.filter_map
-          (fun (edge : Graph.edge) ->
+        Graph.fold_preds csr v
+          (fun acc (edge : Graph.edge) ->
             let pi = i - edge.distance in
-            if pi < 0 then None
+            if pi < 0 then acc
             else
-              match Schedule.find sched { node = edge.src; iter = pi } with
-              | Some pe when pe.proc <> e.proc -> Some (pi, edge.src, pe.proc)
-              | Some _ | None -> None)
-          (Graph.preds graph v)
+              match proc_of ~node:edge.src ~iter:pi with
+              | pp when pp >= 0 && pp <> e.proc -> (pi, edge.src, pp) :: acc
+              | _ -> acc)
+          []
       in
       List.iter
         (fun (pi, src_node, src_proc) ->
-          if not (Hashtbl.mem local (src_node, pi)) then begin
-            Hashtbl.replace local (src_node, pi) ();
+          let k = (inst_key ~node:src_node ~iter:pi * processors) + e.proc in
+          if Bytes.get have k = '\000' then begin
+            Bytes.set have k '\001';
             emit e.proc (Program.Recv { tag = { node = src_node; iter = pi }; src = src_proc })
           end)
         (List.sort_uniq compare wanted);
       emit e.proc (Program.Compute { node = v; iter = i });
-      Hashtbl.replace local (v, i) ();
+      Bytes.set have ((inst_key ~node:v ~iter:i * processors) + e.proc) '\001';
       (* Sends to every distinct off-processor consumer. *)
       let consumers =
-        List.filter_map
-          (fun (edge : Graph.edge) ->
+        Graph.fold_succs csr v
+          (fun acc (edge : Graph.edge) ->
             let ci = i + edge.distance in
-            match Schedule.find sched { node = edge.dst; iter = ci } with
-            | Some ce when ce.proc <> e.proc -> Some ce.proc
-            | Some _ | None -> None)
-          (Graph.succs graph v)
+            match proc_of ~node:edge.dst ~iter:ci with
+            | cp when cp >= 0 && cp <> e.proc -> cp :: acc
+            | _ -> acc)
+          []
       in
       List.iter
         (fun dst ->
-          if not (Hashtbl.mem sent (v, i, dst)) then begin
-            Hashtbl.replace sent (v, i, dst) ();
+          let k = (inst_key ~node:v ~iter:i * processors) + dst in
+          if Bytes.get sent k = '\000' then begin
+            Bytes.set sent k '\001';
             emit e.proc (Program.Send { tag = { node = v; iter = i }; dst })
           end)
         (List.sort_uniq compare consumers))
-    (Schedule.entries sched);
+    entries;
   let p = { Program.graph; processors; programs = Array.map List.rev programs } in
   if validate then begin
     match !validator p with

@@ -28,11 +28,12 @@ let collect membership =
    subgraph. *)
 let run g =
   let n = Graph.node_count g in
+  let c = Graph.csr g in
   let membership = Array.make n Cyclic in
   let in_flow_in = Array.make n false in
   let remaining = Array.make n 0 in
   for v = 0 to n - 1 do
-    remaining.(v) <- List.length (Graph.preds g v)
+    remaining.(v) <- Graph.in_degree c v
   done;
   let queue = Queue.create () in
   for v = 0 to n - 1 do
@@ -43,21 +44,20 @@ let run g =
     if not in_flow_in.(v) then begin
       in_flow_in.(v) <- true;
       membership.(v) <- Flow_in;
-      List.iter
-        (fun (e : Graph.edge) ->
+      Graph.iter_succs c v (fun (e : Graph.edge) ->
           if e.dst <> v then begin
             remaining.(e.dst) <- remaining.(e.dst) - 1;
             if remaining.(e.dst) = 0 then Queue.add e.dst queue
           end)
-        (Graph.succs g v)
     end
   done;
   let remaining_succ = Array.make n 0 in
   for v = 0 to n - 1 do
     if not in_flow_in.(v) then
       remaining_succ.(v) <-
-        List.length
-          (List.filter (fun (e : Graph.edge) -> not in_flow_in.(e.dst)) (Graph.succs g v))
+        Graph.fold_succs c v
+          (fun acc (e : Graph.edge) -> if in_flow_in.(e.dst) then acc else acc + 1)
+          0
   done;
   let in_flow_out = Array.make n false in
   for v = 0 to n - 1 do
@@ -68,13 +68,11 @@ let run g =
     if not in_flow_out.(v) then begin
       in_flow_out.(v) <- true;
       membership.(v) <- Flow_out;
-      List.iter
-        (fun (e : Graph.edge) ->
+      Graph.iter_preds c v (fun (e : Graph.edge) ->
           if e.src <> v && not in_flow_in.(e.src) then begin
             remaining_succ.(e.src) <- remaining_succ.(e.src) - 1;
             if remaining_succ.(e.src) = 0 then Queue.add e.src queue
           end)
-        (Graph.preds g v)
     end
   done;
   collect membership

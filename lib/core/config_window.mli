@@ -24,8 +24,23 @@ type cell = {
                     from one already in flight *)
 }
 
-type key = cell list
-(** Scan-ordered; structural equality and hashing are meaningful. *)
+type key = int array
+(** Scan-ordered cells, packed: a format tag followed by bit-packed
+    (proc, row, node, phase) words paired with raw rebased-iteration
+    words (or five raw words per cell for machines whose coordinates
+    exceed the bit-fields — the tag keeps the formats from aliasing).
+    Structural equality ([=]) on keys coincides with equality of the
+    underlying cell lists; hash with {!hash_key} or use {!Tbl} —
+    polymorphic [Hashtbl.hash] truncates long arrays. *)
+
+val equal_key : key -> key -> bool
+
+val hash_key : key -> int
+(** Monomorphic FNV-1a over the whole array — no truncation, so wide
+    windows don't collide the way polymorphic hashing made them. *)
+
+module Tbl : Hashtbl.S with type key = key
+(** Hash tables keyed on full-width configuration keys. *)
 
 type t = {
   key : key;

@@ -76,3 +76,29 @@ val schedule_iterations :
     This is what execution-time measurements use.
     @raise Invalid_argument on non-positive [iterations] or violated
     preconditions. *)
+
+(** Internal slot-probing primitives, exposed for the unit tests only.
+    A timeline is one processor's start-cycle -> entry map with
+    pairwise-disjoint busy intervals. *)
+module For_tests : sig
+  type timeline
+
+  val empty_timeline : unit -> timeline
+
+  val add_entry : Mimd_ddg.Graph.t -> timeline -> Schedule.entry -> timeline
+  (** Occupies [latency] cells from the entry's start.  The caller is
+      responsible for keeping intervals disjoint, as the scheduler
+      does; timelines are mutable, the return is for chaining. *)
+
+  val first_fit : Mimd_ddg.Graph.t -> timeline -> ready:int -> len:int -> int
+  (** Earliest start >= [ready] where a [len]-cycle interval fits. *)
+
+  val overlapping :
+    Mimd_ddg.Graph.t ->
+    timeline ->
+    max_latency:int ->
+    top:int ->
+    bottom:int ->
+    Schedule.entry list
+  (** Entries whose execution interval intersects [\[top, bottom\]]. *)
+end

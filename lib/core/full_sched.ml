@@ -162,6 +162,36 @@ let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ?(v
 
 let parallel_time t = Schedule.makespan t.schedule
 
+(* Canonical digest of the observable result: FNV-1a over the sorted
+   entry stream plus the processor split and pattern shape.  Two runs
+   that schedule every instance identically produce the same hex
+   string, whatever order the scheduler emitted the entries in — the
+   determinism tests and CI diff this against checked-in goldens. *)
+let output_fingerprint t =
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x3bf29ce484222325 in
+  let mix v = h := (!h lxor (v land max_int)) * fnv_prime land max_int in
+  mix (Schedule.machine t.schedule).Config.processors;
+  mix t.cyclic_processors;
+  mix t.flow_in_processors;
+  mix t.flow_out_processors;
+  mix t.startup_shift;
+  mix (if t.folded then 1 else 0);
+  (match t.pattern with
+  | None -> mix 0
+  | Some p ->
+    mix 1;
+    mix p.Pattern.height;
+    mix p.Pattern.iter_shift);
+  List.iter
+    (fun (e : Schedule.entry) ->
+      mix e.start;
+      mix e.proc;
+      mix e.inst.iter;
+      mix e.inst.node)
+    (Schedule.entries t.schedule);
+  Printf.sprintf "%016x" !h
+
 let total_processors t =
   t.cyclic_processors + t.flow_in_processors + t.flow_out_processors
 

@@ -77,6 +77,13 @@ val run :
 val parallel_time : t -> int
 (** Makespan of the complete schedule. *)
 
+val output_fingerprint : t -> string
+(** Canonical 64-bit FNV-1a digest (16 hex chars) of the observable
+    result: the sorted entry stream, the processor split, and the
+    pattern shape.  Identical schedules digest identically regardless
+    of the order the scheduler produced their entries in; the
+    determinism tests and the CI golden diff compare these strings. *)
+
 val total_processors : t -> int
 
 val report : t -> string

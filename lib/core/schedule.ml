@@ -3,7 +3,12 @@ module Config = Mimd_machine.Config
 
 type instance = { node : int; iter : int }
 
-let compare_instance a b = compare (a.iter, a.node) (b.iter, b.node)
+(* (iter, node) lexicographic — written out so comparing allocates no
+   intermediate tuples; this runs inside every by-instance map
+   operation.  The order MUST NOT change: marshalled schedules in the
+   disk cache carry search trees built with it. *)
+let compare_instance a b =
+  if a.iter <> b.iter then compare a.iter b.iter else compare a.node b.node
 
 type entry = { inst : instance; proc : int; start : int }
 
@@ -22,6 +27,7 @@ type t = {
 }
 
 let make ~graph ~machine entry_list =
+  let n_entries = ref 0 in
   let by_instance =
     List.fold_left
       (fun acc e ->
@@ -30,11 +36,20 @@ let make ~graph ~machine entry_list =
           invalid_arg "Schedule.make: processor out of range";
         if e.inst.node < 0 || e.inst.node >= Graph.node_count graph then
           invalid_arg "Schedule.make: unknown node";
-        if Imap.mem e.inst acc then invalid_arg "Schedule.make: duplicate instance";
+        incr n_entries;
         Imap.add e.inst e acc)
       Imap.empty entry_list
   in
-  let all = List.sort (fun a b -> compare (a.start, a.proc, a.inst.iter, a.inst.node) (b.start, b.proc, b.inst.iter, b.inst.node)) entry_list in
+  (* a shadowed binding means two entries shared an instance *)
+  if Imap.cardinal by_instance <> !n_entries then
+    invalid_arg "Schedule.make: duplicate instance";
+  let compare_entry a b =
+    if a.start <> b.start then compare a.start b.start
+    else if a.proc <> b.proc then compare a.proc b.proc
+    else if a.inst.iter <> b.inst.iter then compare a.inst.iter b.inst.iter
+    else compare a.inst.node b.inst.node
+  in
+  let all = List.sort compare_entry entry_list in
   let by_proc = Array.make machine.Config.processors [] in
   List.iter (fun e -> by_proc.(e.proc) <- e :: by_proc.(e.proc)) (List.rev all);
   { graph; machine; all; by_instance; by_proc }

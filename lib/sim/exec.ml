@@ -16,22 +16,78 @@ type outcome = {
 
 type proc_state = { mutable time : int; mutable todo : Program.instr list }
 
+(* Mailbox keys identify a message by (node, iter, src, dst).  The hot
+   loop packs the quadruple into one int — field widths measured from
+   the program up front — so the mailbox and waiter tables hash a
+   machine word instead of running polymorphic hash/compare over a
+   tuple.  Programs whose coordinates overflow the packing budget
+   (astronomical trip counts) fall back to interning tuples, keeping
+   the same int-keyed tables. *)
+let make_key_fn program =
+  let max_node = ref 0 and max_iter = ref 0 in
+  Array.iter
+    (List.iter (fun (instr : Program.instr) ->
+         match instr with
+         | Program.Send { tag; _ } | Program.Recv { tag; _ } ->
+           if tag.node > !max_node then max_node := tag.node;
+           if tag.iter > !max_iter then max_iter := tag.iter
+         | Program.Compute _ -> ()))
+    program.Program.programs;
+  let bits_for m =
+    let rec go b = if m < 1 lsl b then b else go (b + 1) in
+    go 1
+  in
+  let proc_bits = bits_for (max 1 (program.Program.processors - 1)) in
+  let node_bits = bits_for !max_node in
+  let iter_bits = bits_for !max_iter in
+  if iter_bits + node_bits + (2 * proc_bits) <= 62 then
+    fun ~node ~iter ~src ~dst ->
+      ((((iter lsl node_bits) lor node) lsl proc_bits) lor src) lsl proc_bits lor dst
+  else begin
+    let interned : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let next = ref 0 in
+    fun ~node ~iter ~src ~dst ->
+      let q = (node, iter, src, dst) in
+      match Hashtbl.find_opt interned q with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add interned q id;
+        id
+  end
+
 let run ?(record = false) ~program ~links () =
   let p = program.Program.processors in
   let graph = program.Program.graph in
   let procs = Array.map (fun prog -> { time = 0; todo = prog }) program.Program.programs in
-  (* (node, iter, src, dst) -> arrival time *)
-  let mailbox : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let key = make_key_fn program in
+  let mailbox : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* message key -> the processor blocked on that Recv (at most one:
+     the key includes the receiver) *)
+  let waiting : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let runnable : int Queue.t = Queue.create () in
+  let queued = Array.make p false in
   let messages = ref 0 in
   let comm_cycles = ref 0 in
   let busy_cycles = ref 0 in
   let trace = ref [] in
   let emit time proc instr = if record then trace := { time; proc; instr } :: !trace in
-  (* Advance one processor as far as it can go; returns whether it made
-     any progress. *)
+  let enqueue j =
+    if not queued.(j) then begin
+      queued.(j) <- true;
+      Queue.add j runnable
+    end
+  in
+  (* Run one processor until it finishes or blocks on a Recv whose
+     message has not arrived; in the latter case it parks itself in
+     [waiting] and is re-queued by the matching Send.  Each processor
+     still executes its own instructions strictly in program order, so
+     the per-link sequence of [Links.sample] draws — all sends on a
+     link issue from the same source processor — is identical to the
+     round-robin executor's, and so are all times. *)
   let advance j =
     let st = procs.(j) in
-    let progressed = ref false in
     let blocked = ref false in
     while (not !blocked) && st.todo <> [] do
       match st.todo with
@@ -42,50 +98,59 @@ let run ?(record = false) ~program ~links () =
           st.time <- st.time + Graph.latency graph node;
           busy_cycles := !busy_cycles + Graph.latency graph node;
           st.todo <- rest;
-          progressed := true;
           emit st.time j instr
         | Program.Send { tag; dst } ->
           let l = Links.sample links ~src:j ~dst in
-          Hashtbl.replace mailbox (tag.node, tag.iter, j, dst) (st.time + l);
+          let k = key ~node:tag.node ~iter:tag.iter ~src:j ~dst in
+          Hashtbl.replace mailbox k (st.time + l);
           incr messages;
           comm_cycles := !comm_cycles + l;
           st.todo <- rest;
-          progressed := true;
-          emit st.time j instr
+          emit st.time j instr;
+          (match Hashtbl.find_opt waiting k with
+          | Some sleeper ->
+            Hashtbl.remove waiting k;
+            enqueue sleeper
+          | None -> ())
         | Program.Recv { tag; src } -> begin
-          match Hashtbl.find_opt mailbox (tag.node, tag.iter, src, j) with
+          let k = key ~node:tag.node ~iter:tag.iter ~src ~dst:j in
+          match Hashtbl.find_opt mailbox k with
           | Some arrival ->
-            Hashtbl.remove mailbox (tag.node, tag.iter, src, j);
+            Hashtbl.remove mailbox k;
             st.time <- max st.time arrival;
             st.todo <- rest;
-            progressed := true;
             emit st.time j instr
-          | None -> blocked := true
+          | None ->
+            Hashtbl.replace waiting k j;
+            blocked := true
         end
       end
-    done;
-    !progressed
+    done
   in
-  let all_done () = Array.for_all (fun st -> st.todo = []) procs in
-  while not (all_done ()) do
-    let any = ref false in
-    for j = 0 to p - 1 do
-      if advance j then any := true
-    done;
-    if (not !any) && not (all_done ()) then begin
-      let stuck =
-        Array.to_list procs
-        |> List.mapi (fun j st ->
-               match st.todo with
-               | Program.Recv { tag; src } :: _ ->
-                 Printf.sprintf "PE%d waits for %s[%d] from PE%d" j
-                   (Graph.name graph tag.node) tag.iter src
-               | _ -> Printf.sprintf "PE%d" j)
-        |> String.concat "; "
-      in
-      raise (Deadlock stuck)
-    end
+  for j = 0 to p - 1 do
+    if procs.(j).todo <> [] then enqueue j
   done;
+  while not (Queue.is_empty runnable) do
+    let j = Queue.take runnable in
+    queued.(j) <- false;
+    advance j
+  done;
+  (* The queue drained: every processor is either done or parked on an
+     unsatisfiable Recv — exactly the no-progress condition of a
+     polling executor. *)
+  if not (Array.for_all (fun st -> st.todo = []) procs) then begin
+    let stuck =
+      Array.to_list procs
+      |> List.mapi (fun j st ->
+             match st.todo with
+             | Program.Recv { tag; src } :: _ ->
+               Printf.sprintf "PE%d waits for %s[%d] from PE%d" j
+                 (Graph.name graph tag.node) tag.iter src
+             | _ -> Printf.sprintf "PE%d" j)
+      |> String.concat "; "
+    in
+    raise (Deadlock stuck)
+  end;
   let proc_finish = Array.map (fun st -> st.time) procs in
   {
     makespan = Array.fold_left max 0 proc_finish;

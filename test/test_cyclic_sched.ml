@@ -278,6 +278,57 @@ let test_rolled_idle_processor_branch () =
   in
   check_bool "idle branch" true (contains "no steady-state work")
 
+(* ---------------------------------------------------------------- *)
+(* Slot-probing primitives (For_tests)                               *)
+
+module FT = Cyclic_sched.For_tests
+
+let entry ~node ~iter ~proc ~start = Schedule.{ inst = { node; iter }; proc; start }
+
+let test_first_fit_gap_exactly_fits () =
+  let g = graph_of ~latencies:[| 2; 3 |] ~edges:[ (0, 0, 1); (1, 1, 1) ] in
+  (* busy [0,2) and [5,8): the gap [2,5) is exactly three cycles wide *)
+  let tl = FT.empty_timeline () in
+  let tl = FT.add_entry g tl (entry ~node:0 ~iter:0 ~proc:0 ~start:0) in
+  let tl = FT.add_entry g tl (entry ~node:1 ~iter:0 ~proc:0 ~start:5) in
+  check_int "3-wide interval lands in the 3-wide gap" 2 (FT.first_fit g tl ~ready:0 ~len:3);
+  check_int "4-wide interval skips past both" 8 (FT.first_fit g tl ~ready:0 ~len:4);
+  check_int "ready at the gap's first cycle still fits" 2 (FT.first_fit g tl ~ready:2 ~len:3);
+  check_int "ready past the gap start cannot use it" 8 (FT.first_fit g tl ~ready:3 ~len:3)
+
+let test_first_fit_abutting () =
+  let g = graph_of ~latencies:[| 2 |] ~edges:[ (0, 0, 1) ] in
+  let tl = FT.empty_timeline () in
+  (* busy [3,5): candidates may end exactly where it starts and begin
+     exactly where it finishes *)
+  let tl = FT.add_entry g tl (entry ~node:0 ~iter:0 ~proc:0 ~start:3) in
+  check_int "abuts the busy interval from below" 1 (FT.first_fit g tl ~ready:1 ~len:2);
+  check_int "ready inside the busy interval slides to its finish" 5
+    (FT.first_fit g tl ~ready:4 ~len:2);
+  check_int "empty tail fits at ready" 7 (FT.first_fit g tl ~ready:7 ~len:2)
+
+let sort_entries = List.sort (fun (a : Schedule.entry) b -> compare a b)
+
+let test_overlapping_straddles_top () =
+  (* Node 1 carries the max latency 4; the instance starting below the
+     window must be found only while its interval still crosses top. *)
+  let g = graph_of ~latencies:[| 1; 4 |] ~edges:[ (0, 1, 0); (1, 0, 1) ] in
+  let e_before = entry ~node:0 ~iter:0 ~proc:0 ~start:0 in (* [0,1): ends before top *)
+  let e_straddle = entry ~node:1 ~iter:0 ~proc:0 ~start:2 in (* [2,6): crosses top 5 *)
+  let e_inside = entry ~node:0 ~iter:1 ~proc:0 ~start:7 in (* [7,8): inside window *)
+  let tl = FT.empty_timeline () in
+  let tl = FT.add_entry g tl e_before in
+  let tl = FT.add_entry g tl e_straddle in
+  let tl = FT.add_entry g tl e_inside in
+  check_bool "straddler and inside entry, not the finished one" true
+    (sort_entries (FT.overlapping g tl ~max_latency:4 ~top:5 ~bottom:8)
+    = sort_entries [ e_straddle; e_inside ]);
+  (* with top = 6 the latency-4 interval finishes exactly at top and no
+     longer overlaps *)
+  check_bool "half-open finish at top excluded" true
+    (sort_entries (FT.overlapping g tl ~max_latency:4 ~top:6 ~bottom:8)
+    = sort_entries [ e_inside ])
+
 let suite =
   [
     Alcotest.test_case "fig7: 3 cycles per iteration" `Quick test_fig7_rate;
@@ -303,6 +354,9 @@ let suite =
     Alcotest.test_case "expand: makespan linear in periods" `Quick test_makespan_linear_in_periods;
     Alcotest.test_case "pattern: utilization" `Quick test_pattern_utilization;
     Alcotest.test_case "gap filling with mixed latencies" `Quick test_gap_filling_multilatency;
+    Alcotest.test_case "first_fit: gap exactly fits" `Quick test_first_fit_gap_exactly_fits;
+    Alcotest.test_case "first_fit: abutting intervals" `Quick test_first_fit_abutting;
+    Alcotest.test_case "overlapping: straddles window top" `Quick test_overlapping_straddles_top;
     Alcotest.test_case "rolled: idle processor branch" `Quick test_rolled_idle_processor_branch;
     prop_pattern_found_and_valid;
     prop_finite_schedule_valid;

@@ -105,6 +105,39 @@ let prop_heavier_latencies_still_fine =
       Schedule.validate (Mimd_core.Pattern.expand r.Cyclic_sched.pattern ~iterations:15)
       = Ok ())
 
+(* Every loop in the example corpus compiles to a schedule whose
+   canonical fingerprint is pinned in test/goldens — the same file the
+   CI fingerprint-diff step checks via the CLI.  Running the pipeline
+   twice per file also pins determinism of the optimized hot path. *)
+let fingerprint_of_file path =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let g = (Mimd_loop_ir.Depend.analyze_string src).Mimd_loop_ir.Depend.graph in
+  let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2 in
+  let full = Mimd_core.Full_sched.run ~graph:g ~machine ~iterations:60 () in
+  Mimd_core.Full_sched.output_fingerprint full
+
+let test_corpus_fingerprints () =
+  let lines =
+    In_channel.with_open_text "goldens/fingerprints_p2_k2_n60.txt" In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_bool "golden file non-empty" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ hex; name ] ->
+        let path = Filename.concat "../examples/loops" name in
+        let fp = fingerprint_of_file path in
+        check_string (name ^ ": deterministic") fp (fingerprint_of_file path);
+        check_string (name ^ ": matches golden") hex fp
+      | _ -> Alcotest.failf "malformed golden line: %S" line)
+    lines;
+  let corpus =
+    Sys.readdir "../examples/loops" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".loop")
+  in
+  check_int "every corpus file is pinned" (List.length corpus) (List.length lines)
+
 let suite =
   [
     Alcotest.test_case "golden: fig1 classification" `Quick test_fig1_classification_text;
@@ -114,5 +147,6 @@ let suite =
     Alcotest.test_case "golden: bounds pp" `Quick test_bounds_pp;
     Alcotest.test_case "golden: grid headers" `Quick test_grid_headers;
     Alcotest.test_case "report: deterministic and complete" `Slow test_report_deterministic;
+    Alcotest.test_case "golden: corpus schedule fingerprints" `Quick test_corpus_fingerprints;
     prop_heavier_latencies_still_fine;
   ]
