@@ -381,6 +381,10 @@ let tests =
                  Q[i-1] * R[i-1]; R[i] = Q[i] * R[i-1] + P[i]; }")));
     Test.make ~name:"kernel: bounds (min cycle ratio) ewf"
       (Staged.stage (fun () -> ignore (Mimd_core.Bounds.compute ~graph:ewf ~processors:2)));
+    (* The instrumentation contract: with tracing off, a span is one
+       atomic load and a branch.  This should report single-digit ns. *)
+    Test.make ~name:"kernel: disabled trace span guard"
+      (Staged.stage (fun () -> Mimd_obs.Trace.span "bench.guard" (fun () -> ())));
   ]
 
 let benchmark () =
@@ -457,6 +461,22 @@ let quick () =
       if ns <= 0.0 then failed := true;
       Printf.printf "%-45s %12.1f ns%s\n" name ns note)
     kernels;
+  (* Both kernels above run with tracing compiled in but disabled; this
+     prices the guard itself (amortised over a tight loop). *)
+  let guard_ns =
+    let runs = 1_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to runs do
+      Mimd_obs.Trace.span "bench.guard" (fun () -> ())
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int runs
+  in
+  Printf.printf "%-45s %12.1f ns/call (disabled guard)\n"
+    "mimdloop kernel: disabled trace span" guard_ns;
+  if guard_ns > 100.0 then begin
+    Printf.printf "disabled trace-span guard is suspiciously expensive (> 100 ns)\n";
+    failed := true
+  end;
   if !failed then exit 1
 
 let () =

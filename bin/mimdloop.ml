@@ -96,6 +96,42 @@ let with_graph workload file seed f =
   | Ok g -> f g
 
 (* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+
+let trace_t =
+  let doc =
+    "Capture an execution trace of this command and write it to $(docv) as Chrome \
+     trace_event JSON (load it in Perfetto or chrome://tracing).  See \
+     docs/OBSERVABILITY.md for the span taxonomy."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with tracing on when a trace file was requested; the export
+   happens after [f] even when it fails, so partial traces of failing
+   runs are still written. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Mimd_obs.Trace.clear ();
+    Mimd_obs.Trace.enable ();
+    let code = Fun.protect ~finally:Mimd_obs.Trace.disable f in
+    let dropped = Mimd_obs.Trace.dropped () in
+    if dropped > 0 then
+      Printf.eprintf "mimdloop: warning: %d trace event(s) dropped (buffer full)\n%!"
+        dropped;
+    let json = Mimd_obs.Trace.export () in
+    (match
+       Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json)
+     with
+    | () ->
+      Printf.eprintf "mimdloop: trace written to %s\n%!" path;
+      code
+    | exception Sys_error e ->
+      prerr_endline ("mimdloop: " ^ e);
+      1)
+
+(* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 
 let list_cmd =
@@ -130,8 +166,9 @@ let classify_cmd =
     Term.(const run $ workload_t $ file_t $ seed_t $ dot_t)
 
 let schedule_cmd =
-  let run workload file seed processors k iterations validate =
+  let run workload file seed processors k iterations validate trace =
     with_graph workload file seed (fun g ->
+        with_trace trace @@ fun () ->
         let machine = machine_of processors k in
         match Full_sched.run ~validate ~graph:g ~machine ~iterations () with
         | exception Full_sched.Invalid_schedule m ->
@@ -156,7 +193,9 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run the full pattern-based scheduling pipeline (paper Fig. 6)")
-    Term.(const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ validate_t)
+    Term.(
+      const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t
+      $ validate_t $ trace_t)
 
 let doacross_cmd =
   let run workload file seed processors k iterations exhaustive =
@@ -443,12 +482,14 @@ let run_parallel_cmd =
     end
     | Some _, Some _ -> Error "choose at most one of --file, --seed"
   in
-  let run src file seed processors k iterations timed grain_us repeat no_cache timeout fault =
+  let run src file seed processors k iterations timed grain_us repeat no_cache timeout fault
+      trace =
     match load_loop ~src ~file ~seed with
     | Error e ->
       prerr_endline ("mimdloop: " ^ e);
       1
     | Ok loop ->
+      with_trace trace @@ fun () ->
       let flat =
         if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
       in
@@ -624,7 +665,7 @@ let run_parallel_cmd =
              and check the values against the sequential interpreter")
     Term.(
       const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ timed_t
-      $ grain_t $ repeat_t $ no_cache_t $ timeout_t $ fault_t)
+      $ grain_t $ repeat_t $ no_cache_t $ timeout_t $ fault_t $ trace_t)
 
 let check_cmd =
   let module V = Mimd_check.Validate in
@@ -805,7 +846,8 @@ let make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate =
   (server, pool)
 
 let serve_cmd =
-  let run stdio socket jobs queue_depth cache_dir no_disk_cache validate =
+  let run stdio socket jobs queue_depth cache_dir no_disk_cache validate trace =
+    with_trace trace @@ fun () ->
     let server, pool =
       make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate
     in
@@ -838,7 +880,7 @@ let serve_cmd =
              a two-tier (memory + disk) schedule cache, speaking newline-delimited JSON")
     Term.(
       const run $ stdio_t $ socket_t $ jobs_t $ queue_depth_t $ cache_dir_t
-      $ no_disk_cache_t $ validate_sched_t)
+      $ no_disk_cache_t $ validate_sched_t $ trace_t)
 
 let batch_cmd =
   let run paths jobs queue_depth cache_dir no_disk_cache validate processors k iterations
@@ -961,6 +1003,68 @@ let fingerprint_cmd =
     Term.(
       const run $ workload_t $ file_t $ seed_t $ files_t $ processors_t $ k_t $ iterations_t)
 
+let trace_cmd =
+  let run pos_file workload file seed output processors k iterations mm =
+    let file =
+      match (pos_file, file) with Some p, None -> Some p | _, f -> f
+    in
+    with_graph workload file seed (fun g ->
+        let machine = machine_of processors k in
+        Mimd_obs.Trace.clear ();
+        Mimd_obs.Trace.enable ();
+        let code =
+          match Full_sched.run ~validate:true ~graph:g ~machine ~iterations () with
+          | exception Full_sched.Invalid_schedule m ->
+            prerr_endline ("mimdloop: schedule rejected by the independent validator: " ^ m);
+            1
+          | exception Cyclic_sched.No_pattern m ->
+            prerr_endline ("mimdloop: " ^ m);
+            1
+          | full ->
+            let links =
+              if mm <= 1 then Mimd_sim.Links.fixed k
+              else Mimd_sim.Links.uniform ~base:k ~mm ~seed:42
+            in
+            let out =
+              Mimd_sim.Exec.simulate_schedule ~schedule:full.Full_sched.schedule ~links ()
+            in
+            Format.printf "compiled: makespan %d on %d processor(s); simulated %d@."
+              (Full_sched.parallel_time full)
+              (Full_sched.total_processors full)
+              out.Mimd_sim.Exec.makespan;
+            0
+        in
+        Mimd_obs.Trace.disable ();
+        let json = Mimd_obs.Trace.export () in
+        match
+          Out_channel.with_open_text output (fun oc -> Out_channel.output_string oc json)
+        with
+        | () ->
+          Format.printf "trace written to %s@." output;
+          code
+        | exception Sys_error e ->
+          prerr_endline ("mimdloop: " ^ e);
+          1)
+  in
+  let pos_file_t =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Loop source file (equivalent to --file).")
+  in
+  let out_t =
+    Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let mm_t =
+    Arg.(value & opt int 1 & info [ "mm" ] ~docv:"MM" ~doc:"Run-time fluctuation factor.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Compile a loop (and simulate the result) with tracing on, writing every \
+             pipeline stage as a Chrome trace_event JSON file for Perfetto")
+    Term.(
+      const run $ pos_file_t $ workload_t $ file_t $ seed_t $ out_t $ processors_t $ k_t
+      $ iterations_t $ mm_t)
+
 let random_cmd =
   let run seed =
     let g = W.Random_loop.generate ~seed () in
@@ -997,6 +1101,7 @@ let main_cmd =
       export_cmd;
       converge_cmd;
       verify_cmd;
+      trace_cmd;
       run_parallel_cmd;
       check_cmd;
       serve_cmd;

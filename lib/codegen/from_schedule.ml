@@ -14,6 +14,7 @@ let validator : (Program.t -> (unit, string) result) ref =
               else Printf.sprintf " (+%d more defect(s))" (List.length rest))))
 
 let run ?(validate = false) sched =
+  Mimd_obs.Trace.span ~cat:"compile" "compile.codegen" @@ fun () ->
   let graph = Schedule.graph sched in
   let csr = Graph.csr graph in
   let machine = Schedule.machine sched in

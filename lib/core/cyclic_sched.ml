@@ -1,6 +1,7 @@
 module Graph = Mimd_ddg.Graph
 module Topo = Mimd_ddg.Topo
 module Config = Mimd_machine.Config
+module Trace = Mimd_obs.Trace
 
 exception No_pattern of string
 
@@ -503,10 +504,10 @@ let solve ?(max_iterations = 1024) ?(verify = true) ?(order = Lexicographic) ~gr
           let t1 = earlier.top and t2 = cfg.top in
           let ok =
             if not verify then true
-            else begin
-              advance_until_final (t2 + (t2 - t1) + window_height);
-              period_repeats st ~t1 ~t2 ~d
-            end
+            else
+              Trace.span ~cat:"compile" "compile.pattern_verify" (fun () ->
+                  advance_until_final (t2 + (t2 - t1) + window_height);
+                  period_repeats st ~t1 ~t2 ~d)
           in
           if ok then begin
             let pattern = build_pattern ~t1 ~t2 ~d in
@@ -533,6 +534,7 @@ let solve ?(max_iterations = 1024) ?(verify = true) ?(order = Lexicographic) ~gr
 
 let schedule_iterations ?(order = Lexicographic) ~graph ~machine ~iterations () =
   if iterations <= 0 then invalid_arg "Cyclic_sched.schedule_iterations: iterations <= 0";
+  Trace.span ~cat:"compile" "compile.schedule_iterations" @@ fun () ->
   let st = init_state ~graph ~machine ~trip:(Some iterations) ~order in
   let rec drain () =
     match Iset.min_elt_opt st.ready with

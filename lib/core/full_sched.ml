@@ -1,6 +1,7 @@
 module Graph = Mimd_ddg.Graph
 module Unwind = Mimd_ddg.Unwind
 module Config = Mimd_machine.Config
+module Trace = Mimd_obs.Trace
 
 type strategy = Separate | Folded | Auto
 
@@ -34,7 +35,10 @@ let lookup_in entries =
 
 let run_separate ~max_iterations ~graph:g ~machine ~iterations cls =
   let cyc_g, old_of_new, _ = Classify.cyclic_subgraph g cls in
-  let result = Cyclic_sched.solve ~max_iterations ~graph:cyc_g ~machine () in
+  let result =
+    Trace.span ~cat:"compile" "compile.cyclic_sched" (fun () ->
+        Cyclic_sched.solve ~max_iterations ~graph:cyc_g ~machine ())
+  in
   let pattern = result.Cyclic_sched.pattern in
   let cyclic_entries_local = Schedule.entries (Pattern.expand pattern ~iterations) in
   let cyclic_entries =
@@ -51,8 +55,9 @@ let run_separate ~max_iterations ~graph:g ~machine ~iterations cls =
       ~height ~iter_shift
   in
   let flow_in =
-    Flow_sched.flow_in_entries ~graph:g ~machine ~flow_in:cls.Classify.flow_in ~procs:p_in
-      ~base_proc:p_cyc ~iterations
+    Trace.span ~cat:"compile" "compile.flow_sched.in" (fun () ->
+        Flow_sched.flow_in_entries ~graph:g ~machine ~flow_in:cls.Classify.flow_in
+          ~procs:p_in ~base_proc:p_cyc ~iterations)
   in
   let flow_in_lookup = lookup_in flow_in in
   let shift =
@@ -67,8 +72,9 @@ let run_separate ~max_iterations ~graph:g ~machine ~iterations cls =
   in
   let core_lookup = lookup_in (cyclic_entries @ flow_in) in
   let flow_out =
-    Flow_sched.flow_out_entries ~graph:g ~machine ~flow_out:cls.Classify.flow_out
-      ~procs:p_out ~base_proc:(p_cyc + p_in) ~iterations ~producer:core_lookup
+    Trace.span ~cat:"compile" "compile.flow_sched.out" (fun () ->
+        Flow_sched.flow_out_entries ~graph:g ~machine ~flow_out:cls.Classify.flow_out
+          ~procs:p_out ~base_proc:(p_cyc + p_in) ~iterations ~producer:core_lookup)
   in
   let total = p_cyc + p_in + p_out in
   let full_machine = Config.make ~processors:total ~comm_estimate:machine.Config.comm_estimate in
@@ -90,7 +96,10 @@ let run_separate ~max_iterations ~graph:g ~machine ~iterations cls =
 let run_folded ~max_iterations ~graph:g ~machine ~iterations cls =
   let cyc_g, old_of_new, _ = Classify.cyclic_subgraph g cls in
   let pattern =
-    match Cyclic_sched.solve ~max_iterations ~graph:cyc_g ~machine () with
+    match
+      Trace.span ~cat:"compile" "compile.cyclic_sched" (fun () ->
+          Cyclic_sched.solve ~max_iterations ~graph:cyc_g ~machine ())
+    with
     | r -> Some r.Cyclic_sched.pattern
     | exception Cyclic_sched.No_pattern _ -> None
   in
@@ -125,11 +134,11 @@ let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ?(v
     ~graph ~machine ~iterations () =
   if iterations <= 0 then invalid_arg "Full_sched.run: iterations <= 0";
   if fold_tolerance < 0.0 then invalid_arg "Full_sched.run: negative fold_tolerance";
-  let mapping = Unwind.normalize graph in
+  let mapping = Trace.span ~cat:"compile" "compile.unwind" (fun () -> Unwind.normalize graph) in
   let g = mapping.Unwind.graph in
   let copies = mapping.Unwind.copies in
   let iterations = (iterations + copies - 1) / copies in
-  let cls = Classify.run g in
+  let cls = Trace.span ~cat:"compile" "compile.classify" (fun () -> Classify.run g) in
   let t =
     if Classify.is_doall cls then run_doall ~graph:g ~machine ~iterations cls
     else begin
@@ -154,7 +163,7 @@ let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ?(v
     end
   in
   if validate then begin
-    match !validator t.schedule with
+    match Trace.span ~cat:"compile" "compile.validate" (fun () -> !validator t.schedule) with
     | Ok () -> ()
     | Error msg -> raise (Invalid_schedule msg)
   end;

@@ -1,0 +1,4 @@
+external now_ns : unit -> int = "mimd_obs_clock_ns" [@@noalloc]
+
+let ns_to_us ns = float_of_int ns /. 1e3
+let ns_to_ms ns = float_of_int ns /. 1e6

@@ -1,0 +1,17 @@
+(** Monotonic time source shared by {!Trace} and {!Metrics}.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a noalloc C
+    stub, so reading the clock neither allocates nor is perturbed by
+    NTP steps — span durations stay truthful across wall-clock
+    adjustments. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary (per-boot) epoch.  Differences are
+    meaningful; absolute values are not. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds -> microseconds, the unit of Chrome [trace_event]
+    timestamps. *)
+
+val ns_to_ms : int -> float
+(** Nanoseconds -> milliseconds, the unit of the latency metrics. *)

@@ -1,0 +1,236 @@
+exception Conflict of string
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
+
+type histogram = {
+  h_mutex : Mutex.t;
+  h_buckets : float array;  (* upper bounds, strictly increasing *)
+  h_counts : int array;  (* per-bucket (non-cumulative); last = overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type family = {
+  kind : string;  (* "counter" | "gauge" | "histogram" *)
+  help : string;
+  series : (string, (string * string) list * instrument) Hashtbl.t;
+      (* keyed by rendered label string so registration is idempotent *)
+}
+
+type t = { mutex : Mutex.t; families : (string, family) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); families = Hashtbl.create 32 }
+let default = create ()
+
+let default_buckets =
+  [|
+    0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0;
+    250.0; 500.0; 1000.0; 2500.0;
+  |]
+
+let escape_label s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+
+let register t ~name ~kind ~help ~labels make =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let fam =
+    match Hashtbl.find_opt t.families name with
+    | Some fam ->
+      if fam.kind <> kind then
+        raise (Conflict (Printf.sprintf "%s already registered as a %s" name fam.kind));
+      fam
+    | None ->
+      let fam = { kind; help; series = Hashtbl.create 4 } in
+      Hashtbl.add t.families name fam;
+      fam
+  in
+  let key = label_string labels in
+  match Hashtbl.find_opt fam.series key with
+  | Some (_, inst) -> inst
+  | None ->
+    let inst = make () in
+    Hashtbl.add fam.series key (labels, inst);
+    inst
+
+let counter ?(help = "") ?(labels = []) t name =
+  match
+    register t ~name ~kind:"counter" ~help ~labels (fun () ->
+        Counter { c_value = Atomic.make 0 })
+  with
+  | Counter c -> c
+  | _ -> raise (Conflict name)
+
+let gauge ?(help = "") ?(labels = []) t name =
+  match
+    register t ~name ~kind:"gauge" ~help ~labels (fun () ->
+        Gauge { g_value = Atomic.make 0.0 })
+  with
+  | Gauge g -> g
+  | _ -> raise (Conflict name)
+
+let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) t name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  match
+    register t ~name ~kind:"histogram" ~help ~labels (fun () ->
+        Histogram
+          {
+            h_mutex = Mutex.create ();
+            h_buckets = Array.copy buckets;
+            h_counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.0;
+            h_count = 0;
+          })
+  with
+  | Histogram h ->
+    if h.h_buckets <> buckets then
+      raise (Conflict (Printf.sprintf "%s already registered with other buckets" name));
+    h
+  | _ -> raise (Conflict name)
+
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by)
+let counter_value c = Atomic.get c.c_value
+
+let set g v = Atomic.set g.g_value v
+
+let add g v =
+  (* CAS loop: [add] races with other domains' adds. *)
+  let rec go () =
+    let old = Atomic.get g.g_value in
+    if not (Atomic.compare_and_set g.g_value old (old +. v)) then go ()
+  in
+  go ()
+
+let gauge_value g = Atomic.get g.g_value
+
+let bucket_index buckets v =
+  (* index of the first bucket whose upper bound admits [v]; length of
+     [buckets] = the overflow bucket *)
+  let n = Array.length buckets in
+  let rec go i = if i >= n then n else if v <= buckets.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  Mutex.lock h.h_mutex;
+  let i = bucket_index h.h_buckets v in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  Mutex.unlock h.h_mutex
+
+let histogram_count h =
+  Mutex.lock h.h_mutex;
+  let n = h.h_count in
+  Mutex.unlock h.h_mutex;
+  n
+
+let histogram_sum h =
+  Mutex.lock h.h_mutex;
+  let s = h.h_sum in
+  Mutex.unlock h.h_mutex;
+  s
+
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q out of [0,1]";
+  Mutex.lock h.h_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mutex) @@ fun () ->
+  if h.h_count = 0 then nan
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let n = Array.length h.h_buckets in
+    let rec go i cum =
+      if i > n then h.h_buckets.(n - 1)
+      else begin
+        let cum' = cum + h.h_counts.(i) in
+        if float_of_int cum' >= target && h.h_counts.(i) > 0 then
+          if i = n then h.h_buckets.(n - 1)  (* overflow: clamp to the last bound *)
+          else begin
+            let lo = if i = 0 then 0.0 else h.h_buckets.(i - 1) in
+            let hi = h.h_buckets.(i) in
+            let inside = (target -. float_of_int cum) /. float_of_int h.h_counts.(i) in
+            lo +. ((hi -. lo) *. max 0.0 (min 1.0 inside))
+          end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Prometheus text format                                             *)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let render t =
+  Mutex.lock t.mutex;
+  let fams = Hashtbl.fold (fun name fam acc -> (name, fam) :: acc) t.families [] in
+  Mutex.unlock t.mutex;
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, fam) ->
+      if fam.help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name fam.help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name fam.kind);
+      let series = Hashtbl.fold (fun key s acc -> (key, s) :: acc) fam.series [] in
+      List.iter
+        (fun (key, (_labels, inst)) ->
+          let braces extra =
+            match (key, extra) with
+            | "", "" -> ""
+            | "", e -> "{" ^ e ^ "}"
+            | k, "" -> "{" ^ k ^ "}"
+            | k, e -> "{" ^ k ^ "," ^ e ^ "}"
+          in
+          match inst with
+          | Counter c ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %d\n" name (braces "") (counter_value c))
+          | Gauge g ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" name (braces "") (float_str (gauge_value g)))
+          | Histogram h ->
+            Mutex.lock h.h_mutex;
+            let counts = Array.copy h.h_counts in
+            let sum = h.h_sum and count = h.h_count in
+            Mutex.unlock h.h_mutex;
+            let cum = ref 0 in
+            Array.iteri
+              (fun i bound ->
+                cum := !cum + counts.(i);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (braces (Printf.sprintf "le=\"%s\"" (float_str bound)))
+                     !cum))
+              h.h_buckets;
+            cum := !cum + counts.(Array.length h.h_buckets);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name (braces "le=\"+Inf\"") !cum);
+            Buffer.add_string b (Printf.sprintf "%s_sum%s %s\n" name (braces "") (float_str sum));
+            Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" name (braces "") count))
+        (List.sort compare series))
+    (List.sort compare fams);
+  Buffer.contents b

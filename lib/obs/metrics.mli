@@ -1,0 +1,75 @@
+(** Named metrics registry — counters, gauges and histograms rendered
+    in Prometheus text exposition format.
+
+    A registry holds {e families} keyed by metric name; instruments
+    with the same name but different label sets are series of one
+    family and share its HELP/TYPE header.  Registering the same
+    [(name, labels)] pair again returns the existing instrument, so
+    call sites can re-register idempotently instead of threading
+    handles around.
+
+    All instruments are domain-safe: counters and gauges are atomic,
+    histograms take a per-instrument mutex.  This is the unification
+    layer the compile service's ad-hoc latency lists and cache/pool
+    counters render through (the [metrics] server op); the metric name
+    reference lives in [docs/OBSERVABILITY.md]. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+(** A fresh, empty registry.  Each {!Mimd_server.Service} owns one so
+    concurrent services (e.g. in tests) never share series. *)
+
+val default : t
+(** The process-global registry used by CLI one-shots. *)
+
+exception Conflict of string
+(** Raised when a name is re-registered as a different instrument kind
+    (or a histogram with different buckets). *)
+
+val counter : ?help:string -> ?labels:(string * string) list -> t -> string -> counter
+val gauge : ?help:string -> ?labels:(string * string) list -> t -> string -> gauge
+
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  t ->
+  string ->
+  histogram
+(** [buckets] are upper bounds, strictly increasing; the implicit
+    [+Inf] bucket is added by the renderer.  The default buckets suit
+    millisecond-scale latencies (5 us .. 2.5 s). *)
+
+val default_buckets : float array
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in [0,1]: the Prometheus-style estimate —
+    linear interpolation inside the bucket where the cumulative count
+    crosses [q * count], the bucket's upper bound for the overflow
+    bucket.  [nan] on an empty histogram. *)
+
+val escape_label : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline (exposed for the tests). *)
+
+val render : t -> string
+(** The whole registry in Prometheus text format: families sorted by
+    name, [# HELP]/[# TYPE] once per family, histogram series as
+    cumulative [_bucket{le="..."}] plus [_sum]/[_count]. *)

@@ -1,0 +1,73 @@
+(** Lightweight spans over the whole pipeline, exportable as Chrome
+    [trace_event] JSON (load the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}).
+
+    Tracing is a process-global switch, {e off} by default.  While it
+    is off every entry point below is a single atomic load and a
+    branch — no allocation, no clock read — so instrumentation can
+    stay compiled into the hot paths permanently (the bench suite and
+    [test_obs] pin this down).  While it is on, each domain appends
+    events to its own buffer under a per-buffer mutex, so concurrent
+    workers never contend on shared trace state beyond that.
+
+    Spans nest per domain: {!span} pushes onto a domain-local stack,
+    and every event records its parent span's id (0 at top level) in
+    its exported [args] — alongside the start/duration that Chrome's
+    [ph:"X"] complete events carry natively.
+
+    The span taxonomy used across the repo is documented in
+    [docs/OBSERVABILITY.md]: [compile.*] for the scheduling pipeline,
+    [serve.*] for the compile service's request path, [run.*] for
+    real-domain execution, [sim.*] for the simulator. *)
+
+val enable : unit -> unit
+(** Turn the global switch on.  Events recorded before [enable] were
+    dropped, not buffered. *)
+
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop every buffered event in every domain's buffer (buffers stay
+    registered; the switch is untouched). *)
+
+val set_thread_name : string -> unit
+(** Label the calling domain's track in the exported trace (e.g.
+    ["PE0"], ["pool-worker"]).  No-op while tracing is off. *)
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; while tracing is on, the interval is
+    recorded as a complete event (monotonic start/stop, the calling
+    domain's track, the enclosing span as parent).  The span is
+    recorded — with its true duration — even when [f] raises; the
+    exception is re-raised.  While tracing is off this is exactly
+    [f ()] after one atomic load: no allocation. *)
+
+val record :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  name:string ->
+  start_ns:int ->
+  end_ns:int ->
+  unit ->
+  unit
+(** A complete span whose interval was measured externally
+    ({!Clock.now_ns} stamps), for durations that cross domains — e.g.
+    queue wait measured from submit (reader domain) to dequeue (worker
+    domain), recorded by the worker.  No-op while tracing is off. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event.  No-op while tracing is off. *)
+
+val dropped : unit -> int
+(** Events discarded because a domain's buffer hit its cap (tracing a
+    pathologically long run).  0 in healthy captures. *)
+
+val export : ?process_name:string -> unit -> string
+(** The whole capture as a Chrome trace JSON object:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Timestamps are
+    microseconds rebased to the earliest event; every complete event
+    carries [ph]/[ts]/[dur]/[pid]/[tid]/[name] plus [args] with the
+    span and parent ids.  Thread-name metadata events label the
+    tracks.  Intended to be called once workers are quiescent. *)

@@ -1,5 +1,6 @@
 module Program = Mimd_codegen.Program
 module Graph = Mimd_ddg.Graph
+module Trace = Mimd_obs.Trace
 
 type work = No_work | Spin of float | Sleep of float
 
@@ -31,19 +32,32 @@ let run ?watchdog ?(channel_capacity = 256) ?(work = No_work) ~program () =
     let stash = Mesh.stash mesh in
     let cycles = ref 0 in
     let sent = ref 0 in
+    let traced = Trace.is_enabled () in
+    if traced then Trace.set_thread_name (Printf.sprintf "PE%d" j);
+    let exec instr =
+      match instr with
+      | Program.Compute { node; _ } ->
+        let l = Graph.latency graph node in
+        emulate work l;
+        cycles := !cycles + l
+      | Program.Send { tag; dst } ->
+        Mesh.send mesh ~src:j ~dst ~tag:(tag.Program.node, tag.Program.iter) ();
+        incr sent
+      | Program.Recv { tag; src } ->
+        Mesh.recv_tag mesh stash ~src ~dst:j ~tag:(tag.Program.node, tag.Program.iter)
+    in
     List.iter
       (fun instr ->
-        (match instr with
-        | Program.Compute { node; _ } ->
-          let l = Graph.latency graph node in
-          emulate work l;
-          cycles := !cycles + l
-        | Program.Send { tag; dst } ->
-          Mesh.send mesh ~src:j ~dst ~tag:(tag.Program.node, tag.Program.iter) ();
-          incr sent
-        | Program.Recv { tag; src } ->
-          Mesh.recv_tag mesh stash ~src ~dst:j
-            ~tag:(tag.Program.node, tag.Program.iter));
+        (if traced then begin
+           let name =
+             match instr with
+             | Program.Compute _ -> "run.compute"
+             | Program.Send _ -> "run.send"
+             | Program.Recv _ -> "run.recv"
+           in
+           Trace.span ~cat:"run" name (fun () -> exec instr)
+         end
+         else exec instr);
         tick ())
       program.Program.programs.(j);
     let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in

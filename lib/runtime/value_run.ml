@@ -3,6 +3,7 @@ module Graph = Mimd_ddg.Graph
 module Ast = Mimd_loop_ir.Ast
 module Interp = Mimd_loop_ir.Interp
 module Value_exec = Mimd_sim.Value_exec
+module Trace = Mimd_obs.Trace
 
 type outcome = {
   instance_values : ((int * int) * float) list;
@@ -32,10 +33,13 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
     let stash = Mesh.stash mesh in
     let computed = ref [] in
     let sent = ref 0 in
-    List.iter
-      (fun instr ->
-        (match instr with
-        | Program.Compute { node; iter } ->
+    (* Hoisted so the untraced path keeps its straight-line loop: per-op
+       spans (and their args) are only built when a capture is live. *)
+    let traced = Trace.is_enabled () in
+    if traced then Trace.set_thread_name (Printf.sprintf "PE%d" j);
+    let exec instr =
+      match instr with
+      | Program.Compute { node; iter } ->
           let _, _, rhs = stmts.(node) in
           let read array offset =
             match resolve node array offset with
@@ -64,10 +68,37 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
           in
           Mesh.send mesh ~src:j ~dst ~tag:key v;
           incr sent
-        | Program.Recv { tag; src } ->
-          let key = (tag.Program.node, tag.Program.iter) in
-          let v = Mesh.recv_tag mesh stash ~src ~dst:j ~tag:key in
-          Hashtbl.replace local key v);
+      | Program.Recv { tag; src } ->
+        let key = (tag.Program.node, tag.Program.iter) in
+        let v = Mesh.recv_tag mesh stash ~src ~dst:j ~tag:key in
+        Hashtbl.replace local key v
+    in
+    List.iter
+      (fun instr ->
+        (if traced then begin
+           let name, args =
+             match instr with
+             | Program.Compute { node; iter } ->
+               ( "run.compute",
+                 [ ("node", string_of_int node); ("iter", string_of_int iter) ] )
+             | Program.Send { tag; dst } ->
+               ( "run.send",
+                 [
+                   ("node", string_of_int tag.Program.node);
+                   ("iter", string_of_int tag.Program.iter);
+                   ("dst", string_of_int dst);
+                 ] )
+             | Program.Recv { tag; src } ->
+               ( "run.recv",
+                 [
+                   ("node", string_of_int tag.Program.node);
+                   ("iter", string_of_int tag.Program.iter);
+                   ("src", string_of_int src);
+                 ] )
+           in
+           Trace.span ~cat:"run" ~args name (fun () -> exec instr)
+         end
+         else exec instr);
         tick ())
       program.Program.programs.(j);
     let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in

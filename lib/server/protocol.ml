@@ -26,11 +26,13 @@ type compile_params = {
 type request =
   | Compile of { id : Json.t; params : compile_params }
   | Stats of { id : Json.t }
+  | Metrics of { id : Json.t }
   | Ping of { id : Json.t }
   | Shutdown of { id : Json.t }
 
 let request_id = function
-  | Compile { id; _ } | Stats { id } | Ping { id } | Shutdown { id } -> id
+  | Compile { id; _ } | Stats { id } | Metrics { id } | Ping { id } | Shutdown { id } ->
+    id
 
 type tier = Memory_hit | Disk_hit | Computed
 
@@ -113,6 +115,7 @@ let request_of_line line =
       | Some "compile" ->
         Result.map_error (fun m -> (id, m)) (compile_of_json id json)
       | Some "stats" -> Ok (Stats { id })
+      | Some "metrics" -> Ok (Metrics { id })
       | Some "ping" -> Ok (Ping { id })
       | Some "shutdown" -> Ok (Shutdown { id })
       | Some other -> Error (id, Printf.sprintf "unknown op %S" other)))
@@ -123,6 +126,7 @@ let request_of_line line =
 type reply =
   | Compiled of { id : Json.t; result : compiled }
   | Stats_reply of { id : Json.t; stats : Json.t }
+  | Metrics_reply of { id : Json.t; text : string }
   | Pong of { id : Json.t }
   | Bye of { id : Json.t }
   | Error of { id : Json.t; kind : error_kind; message : string }
@@ -144,6 +148,8 @@ let reply_json = function
       ]
   | Stats_reply { id; stats } ->
     Json.Obj [ ("id", id); ("ok", Json.Bool true); ("stats", stats) ]
+  | Metrics_reply { id; text } ->
+    Json.Obj [ ("id", id); ("ok", Json.Bool true); ("metrics", Json.String text) ]
   | Pong { id } ->
     Json.Obj [ ("id", id); ("ok", Json.Bool true); ("pong", Json.Bool true) ]
   | Bye { id } ->

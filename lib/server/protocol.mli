@@ -13,6 +13,7 @@
                    "processors": INT?, "k": INT?, "iterations": INT?,
                    "deadline_ms": NUMBER?, "validate": BOOL?}
                 | {"id": J?, "op": "stats"}
+                | {"id": J?, "op": "metrics"}
                 | {"id": J?, "op": "ping"}
                 | {"id": J?, "op": "shutdown"}
       reply   ::= {"id": J, "ok": true, "tier": "memory"|"disk"|"computed",
@@ -20,6 +21,7 @@
                    "folded": BOOL, "sequential": INT,
                    "percentage_parallelism": NUMBER, "elapsed_ms": NUMBER}
                 | {"id": J, "ok": true, "stats": {...}}
+                | {"id": J, "ok": true, "metrics": STRING}
                 | {"id": J, "ok": true, "pong": true}
                 | {"id": J, "ok": true, "bye": true}
                 | {"id": J, "ok": false,
@@ -54,6 +56,7 @@ type compile_params = {
 type request =
   | Compile of { id : Json.t; params : compile_params }
   | Stats of { id : Json.t }
+  | Metrics of { id : Json.t }
   | Ping of { id : Json.t }
   | Shutdown of { id : Json.t }
 
@@ -77,6 +80,9 @@ type compiled = {
 type reply =
   | Compiled of { id : Json.t; result : compiled }
   | Stats_reply of { id : Json.t; stats : Json.t }
+  | Metrics_reply of { id : Json.t; text : string }
+      (** the whole metrics registry, Prometheus text format, as one
+          JSON string (["metrics"] field) *)
   | Pong of { id : Json.t }
   | Bye of { id : Json.t }
   | Error of { id : Json.t; kind : error_kind; message : string }

@@ -1,4 +1,6 @@
 module Config = Mimd_machine.Config
+module Trace = Mimd_obs.Trace
+module Clock = Mimd_obs.Clock
 
 type t = {
   service : Service.t;
@@ -23,8 +25,19 @@ let dispatch t ~reply req =
   | Protocol.Compile { id; params } ->
     let received = Unix.gettimeofday () in
     let deadline = deadline_of ~received params in
+    let submitted_ns = Clock.now_ns () in
     Pool.submit t.pool (fun () ->
-        match Service.compile_params t.service ?deadline params with
+        (* The wait is measured across domains (stamped on the reader,
+           recorded by the worker), so it cannot be a [span]. *)
+        let dequeued_ns = Clock.now_ns () in
+        Trace.record ~cat:"serve" ~name:"serve.queue_wait" ~start_ns:submitted_ns
+          ~end_ns:dequeued_ns ();
+        Service.observe_queue_wait t.service
+          (float_of_int (dequeued_ns - submitted_ns) /. 1e6);
+        match
+          Trace.span ~cat:"serve" "serve.compile" (fun () ->
+              Service.compile_params t.service ?deadline params)
+        with
         | Ok outcome -> reply (Protocol.Compiled { id; result = outcome.Service.result })
         | Error e -> reply (error_reply id e));
     `Continue
@@ -35,6 +48,12 @@ let dispatch t ~reply req =
         reply
           (Protocol.Stats_reply
              { id; stats = Service.stats_json ~pool:t.pool t.service }));
+    `Continue
+  | Protocol.Metrics { id } ->
+    Pool.submit t.pool (fun () ->
+        reply
+          (Protocol.Metrics_reply
+             { id; text = Service.metrics_text ~pool:t.pool t.service }));
     `Continue
   | Protocol.Ping { id } ->
     Pool.submit t.pool (fun () -> reply (Protocol.Pong { id }));
@@ -50,6 +69,7 @@ let dispatch t ~reply req =
 let serve_channels t ic oc =
   let out_mutex = Mutex.create () in
   let reply r =
+    Trace.span ~cat:"serve" "serve.reply" @@ fun () ->
     Mutex.lock out_mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock out_mutex)
@@ -65,6 +85,7 @@ let serve_channels t ic oc =
       | None | (exception Sys_error _) -> ()
       | Some line when String.trim line = "" -> loop ()
       | Some line -> (
+        Trace.instant "serve.accept";
         match Protocol.request_of_line line with
         | Error (id, message) ->
           reply (Protocol.Error { id; kind = Protocol.Protocol; message });

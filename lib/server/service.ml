@@ -1,6 +1,8 @@
 module Full_sched = Mimd_core.Full_sched
 module Schedule_cache = Mimd_runtime.Schedule_cache
 module Config = Mimd_machine.Config
+module Metrics = Mimd_obs.Metrics
+module Trace = Mimd_obs.Trace
 
 type error = { kind : Protocol.error_kind; message : string }
 
@@ -22,9 +24,31 @@ type t = {
   mutable schedule_ms : float list;
   mutable validate_ms : float list;
   mutable total_ms : float list;
+  (* Prometheus view of the same numbers (plus cache-tier counters),
+     owned per service so concurrent services never share series. *)
+  metrics : Metrics.t;
+  m_requests : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_hits_memory : Metrics.counter;
+  m_hits_disk : Metrics.counter;
+  m_miss_memory : Metrics.counter;
+  m_miss_disk : Metrics.counter;
+  h_parse : Metrics.histogram;
+  h_schedule : Metrics.histogram;
+  h_validate : Metrics.histogram;
+  h_total : Metrics.histogram;
+  h_queue_wait : Metrics.histogram;
 }
 
 let create ?(memory_capacity = 256) ?disk ?(validate = false) () =
+  let metrics = Metrics.create () in
+  let tiered name help tier =
+    Metrics.counter ~help ~labels:[ ("tier", tier) ] metrics name
+  in
+  let stage s =
+    Metrics.histogram ~help:"Per-stage service latency in milliseconds"
+      ~labels:[ ("stage", s) ] metrics "mimd_serve_stage_latency_ms"
+  in
   {
     memory = Schedule_cache.create ~capacity:memory_capacity ();
     disk;
@@ -36,6 +60,24 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) () =
     schedule_ms = [];
     validate_ms = [];
     total_ms = [];
+    metrics;
+    m_requests =
+      Metrics.counter ~help:"Compile requests served" metrics "mimd_serve_requests_total";
+    m_errors =
+      Metrics.counter ~help:"Compile requests that returned an error" metrics
+        "mimd_serve_errors_total";
+    m_hits_memory = tiered "mimd_cache_hits_total" "Schedule-cache hits by tier" "memory";
+    m_hits_disk = tiered "mimd_cache_hits_total" "Schedule-cache hits by tier" "disk";
+    m_miss_memory =
+      tiered "mimd_cache_misses_total" "Schedule-cache misses by tier" "memory";
+    m_miss_disk = tiered "mimd_cache_misses_total" "Schedule-cache misses by tier" "disk";
+    h_parse = stage "parse";
+    h_schedule = stage "schedule";
+    h_validate = stage "validate";
+    h_total = stage "total";
+    h_queue_wait =
+      Metrics.histogram ~help:"Pool queue wait in milliseconds" metrics
+        "mimd_pool_queue_wait_ms";
   }
 
 let validate_default t = t.validate
@@ -76,6 +118,7 @@ let compute t ~graph ~machine ~iterations ~validate =
       let report = Mimd_check.Validate.full full in
       let dt = now_ms () -. t0 in
       with_lock t (fun () -> t.validate_ms <- dt :: t.validate_ms);
+      Metrics.observe t.h_validate dt;
       match Mimd_check.Validate.error_of ~names:(Mimd_ddg.Graph.name graph) report with
       | Ok () -> Ok (full, dt)
       | Error m -> err Protocol.Validation "schedule rejected: %s" m
@@ -108,21 +151,30 @@ let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
   else begin
     let key = Schedule_cache.fingerprint ~graph ~machine ~iterations () in
     match Schedule_cache.find t.memory ~key with
-    | Some full -> Ok (finish Protocol.Memory_hit full)
+    | Some full ->
+      Metrics.inc t.m_hits_memory;
+      Trace.instant ~args:[ ("tier", "memory") ] "serve.cache";
+      Ok (finish Protocol.Memory_hit full)
     | None -> (
+      Metrics.inc t.m_miss_memory;
       let from_disk = Option.bind t.disk (fun d -> Disk_cache.find d ~key) in
       match from_disk with
       | Some full ->
+        Metrics.inc t.m_hits_disk;
+        Trace.instant ~args:[ ("tier", "disk") ] "serve.cache";
         (* Promote to tier 1 so the next hit skips the disk. *)
         Schedule_cache.add t.memory ~key full;
         Ok (finish Protocol.Disk_hit full)
       | None -> (
+        if Option.is_some t.disk then Metrics.inc t.m_miss_disk;
+        Trace.instant ~args:[ ("tier", "computed") ] "serve.cache";
         let t0 = now_ms () in
         match compute t ~graph ~machine ~iterations ~validate with
         | Error e -> Error e
         | Ok (full, validate_ms) ->
           let dt = now_ms () -. t0 -. validate_ms in
           with_lock t (fun () -> t.schedule_ms <- dt :: t.schedule_ms);
+          Metrics.observe t.h_schedule dt;
           (* Only proven schedules are persisted (when validation is
              on, which it was just above for this very entry). *)
           Schedule_cache.add t.memory ~key full;
@@ -140,12 +192,16 @@ let compile t ?deadline ?validate ~loop ~machine ~iterations () =
     with_lock t (fun () ->
         t.requests <- t.requests + 1;
         t.total_ms <- elapsed :: t.total_ms;
-        match outcome with Error _ -> t.errors <- t.errors + 1 | Ok _ -> ())
+        match outcome with Error _ -> t.errors <- t.errors + 1 | Ok _ -> ());
+    Metrics.inc t.m_requests;
+    Metrics.observe t.h_total elapsed;
+    match outcome with Error _ -> Metrics.inc t.m_errors | Ok _ -> ()
   in
   let t0 = now_ms () in
-  let parsed = parse_loop loop in
+  let parsed = Trace.span ~cat:"serve" "serve.parse" (fun () -> parse_loop loop) in
   let parse_dt = now_ms () -. t0 in
   with_lock t (fun () -> t.parse_ms <- parse_dt :: t.parse_ms);
+  Metrics.observe t.h_parse parse_dt;
   let outcome =
     match parsed with
     | Error e -> Error e
@@ -247,3 +303,37 @@ let stats_json ?pool t =
 
 let memory_stats t = Schedule_cache.stats t.memory
 let disk_stats t = Option.map Disk_cache.stats t.disk
+
+(* ---------------------------------------------------------------- *)
+(* Prometheus                                                         *)
+
+let metrics t = t.metrics
+let observe_queue_wait t ms = Metrics.observe t.h_queue_wait ms
+
+let metrics_text ?pool t =
+  (* Gauges sourced from structures that keep their own counts are
+     refreshed at render time, so one registry stays the single
+     exposition point without mirroring every increment. *)
+  let g name help v = Metrics.set (Metrics.gauge ~help t.metrics name) v in
+  let mem = Schedule_cache.stats t.memory in
+  g "mimd_cache_memory_entries" "Entries in the in-memory LRU"
+    (float_of_int mem.Schedule_cache.entries);
+  g "mimd_cache_memory_evictions" "Evictions from the in-memory LRU"
+    (float_of_int mem.Schedule_cache.evictions);
+  (match t.disk with
+  | None -> ()
+  | Some d ->
+    let s = Disk_cache.stats d in
+    g "mimd_cache_disk_stores" "Schedules persisted to the disk tier"
+      (float_of_int s.Disk_cache.stores));
+  (match pool with
+  | None -> ()
+  | Some p ->
+    g "mimd_pool_jobs" "Worker domains in the pool" (float_of_int (Pool.jobs p));
+    g "mimd_pool_queue_depth" "Jobs waiting in the pool queue"
+      (float_of_int (Pool.queue_depth p));
+    g "mimd_pool_max_queue_depth" "High-water mark of the pool queue"
+      (float_of_int (Pool.max_depth_seen p));
+    g "mimd_pool_executed_total" "Jobs the pool has executed"
+      (float_of_int (Pool.executed p)));
+  Metrics.render t.metrics

@@ -63,3 +63,21 @@ val stats_json : ?pool:Pool.t -> t -> Json.t
 
 val memory_stats : t -> Mimd_runtime.Schedule_cache.stats
 val disk_stats : t -> Disk_cache.stats option
+
+val metrics : t -> Mimd_obs.Metrics.t
+(** The service's private metrics registry (each service owns one, so
+    concurrent services never share series): request/error counters,
+    per-stage latency histograms ([mimd_serve_stage_latency_ms] with a
+    [stage] label), cache-tier hit/miss counters and the pool
+    queue-wait histogram.  The name reference is in
+    [docs/OBSERVABILITY.md]. *)
+
+val observe_queue_wait : t -> float -> unit
+(** Record one pool queue wait, in milliseconds (called by the server
+    front end, which is the only layer that sees both the submit and
+    the dequeue instants). *)
+
+val metrics_text : ?pool:Pool.t -> t -> string
+(** The payload of a [metrics] reply: the whole registry in Prometheus
+    text format, with cache-size and pool gauges refreshed from
+    {!memory_stats}/{!disk_stats}/[pool] at render time. *)

@@ -58,6 +58,7 @@ let make_key_fn program =
   end
 
 let run ?(record = false) ~program ~links () =
+  Mimd_obs.Trace.span ~cat:"sim" "sim.execute" @@ fun () ->
   let p = program.Program.processors in
   let graph = program.Program.graph in
   let procs = Array.map (fun prog -> { time = 0; todo = prog }) program.Program.programs in

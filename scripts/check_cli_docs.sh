@@ -1,0 +1,67 @@
+#!/bin/sh
+# Fail when docs/CLI.md drifts from the CLI's own --help output.
+#
+# Two invariants, extracted mechanically:
+#   1. the set of subcommands in `mimdloop --help` equals the set of
+#      `## <command>` headings in docs/CLI.md;
+#   2. for each subcommand, the set of flags in its OPTIONS section
+#      equals the set of backticked `-x` / `--long` tokens in that
+#      command's section of docs/CLI.md.
+#
+# Override the binary with MIMDLOOP (e.g. a prebuilt path in CI).
+set -eu
+cd "$(dirname "$0")/.."
+
+DOC=docs/CLI.md
+RUN=${MIMDLOOP:-"dune exec bin/mimdloop.exe --"}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+# --- 1. subcommand list --------------------------------------------
+# COMMANDS entries sit at exactly 7 spaces of indent; their wrapped
+# descriptions are indented further.
+$RUN --help=plain \
+  | sed -n '/^COMMANDS/,/^COMMON OPTIONS/p' \
+  | grep -E '^       [a-z][a-z0-9-]* ' \
+  | awk '{print $1}' | sort -u > "$tmp/cmds.help"
+
+grep -E '^## [a-z][a-z0-9-]*$' "$DOC" | awk '{print $2}' | sort -u > "$tmp/cmds.doc"
+
+if ! diff -u "$tmp/cmds.doc" "$tmp/cmds.help" > "$tmp/cmds.diff"; then
+  echo "subcommand list drifted between --help (right) and $DOC (left):"
+  cat "$tmp/cmds.diff"
+  fail=1
+fi
+
+# --- 2. per-subcommand flags ---------------------------------------
+while read -r cmd; do
+  # From --help: every option token in the OPTIONS section.  A line
+  # like "-j N, --jobs=N (absent=4)" yields "-j" and "--jobs".
+  $RUN "$cmd" --help=plain \
+    | sed -n '/^OPTIONS/,/^COMMON OPTIONS/p' \
+    | grep -E '^       -' \
+    | tr ',' '\n' \
+    | awk '{print $1}' | sed 's/=.*//' \
+    | grep -E '^-' | sort -u > "$tmp/flags.help" || :
+
+  # From the doc: backticked flag tokens in this command's section.
+  awk -v cmd="$cmd" '
+    $0 == "## " cmd { on = 1; next }
+    /^## /          { on = 0 }
+    on' "$DOC" \
+    | grep -oE '`--?[a-zA-Z][a-zA-Z-]*`' \
+    | tr -d '`' | sort -u > "$tmp/flags.doc" || :
+
+  if ! diff -u "$tmp/flags.doc" "$tmp/flags.help" > "$tmp/flags.diff"; then
+    echo "flags for '$cmd' drifted between --help (right) and $DOC (left):"
+    cat "$tmp/flags.diff"
+    fail=1
+  fi
+done < "$tmp/cmds.help"
+
+if [ "$fail" -eq 0 ]; then
+  echo "CLI docs are in sync with --help ($(wc -l < "$tmp/cmds.help") subcommands)."
+fi
+exit "$fail"

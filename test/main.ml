@@ -26,5 +26,6 @@ let () =
       ("runtime", Test_runtime.suite);
       ("check", Test_check.suite);
       ("server", Test_server.suite);
+      ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

@@ -122,6 +122,39 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile 50.0 xs);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100.0 xs)
 
+(* Nearest-rank boundary semantics documented in stats.mli: every
+   result is an actual sample, ranks clamp to [1, n]. *)
+let test_stats_percentile_boundaries () =
+  (* n = 1: every percentile is the sole element. *)
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) (Printf.sprintf "n=1 p%g" p) 42.0 (Stats.percentile p [ 42.0 ]))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ];
+  (* n = 2: rank ceil(p/100 * 2) — p50 hits the first element (and so
+     disagrees with the averaging median), anything above picks the
+     second. *)
+  let two = [ 10.0; 20.0 ] in
+  Alcotest.(check (float 1e-9)) "n=2 p0" 10.0 (Stats.percentile 0.0 two);
+  Alcotest.(check (float 1e-9)) "n=2 p50" 10.0 (Stats.percentile 50.0 two);
+  Alcotest.(check (float 1e-9)) "n=2 p51" 20.0 (Stats.percentile 51.0 two);
+  Alcotest.(check (float 1e-9)) "n=2 p95" 20.0 (Stats.percentile 95.0 two);
+  Alcotest.(check (float 1e-9)) "n=2 p99" 20.0 (Stats.percentile 99.0 two);
+  Alcotest.(check (float 1e-9)) "n=2 median differs" 15.0 (Stats.median two);
+  (* Odd length: p50 lands on the middle element, agreeing with
+     median; p95/p99 clamp to the maximum.  Input order must not
+     matter. *)
+  let odd = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "n=5 p50 = median" (Stats.median odd) (Stats.percentile 50.0 odd);
+  Alcotest.(check (float 1e-9)) "n=5 p50" 3.0 (Stats.percentile 50.0 odd);
+  Alcotest.(check (float 1e-9)) "n=5 p95" 5.0 (Stats.percentile 95.0 odd);
+  Alcotest.(check (float 1e-9)) "n=5 p99" 5.0 (Stats.percentile 99.0 odd);
+  Alcotest.(check (float 1e-9)) "n=5 p20 first element" 1.0 (Stats.percentile 20.0 odd);
+  Alcotest.(check (float 1e-9)) "n=5 p21 second element" 2.0 (Stats.percentile 21.0 odd);
+  (* Errors. *)
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile 50.0 []));
+  Alcotest.check_raises "p out of range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile 101.0 [ 1.0 ]))
+
 let test_stats_geometric_mean () =
   Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
 
@@ -174,6 +207,7 @@ let suite =
     Alcotest.test_case "stats: min/max" `Quick test_stats_min_max;
     Alcotest.test_case "stats: median" `Quick test_stats_median;
     Alcotest.test_case "stats: percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats: percentile boundaries" `Quick test_stats_percentile_boundaries;
     Alcotest.test_case "stats: geometric mean" `Quick test_stats_geometric_mean;
     Alcotest.test_case "stats: ratio of means" `Quick test_stats_ratio;
     Alcotest.test_case "table: renders" `Quick test_table_renders;
