@@ -15,6 +15,155 @@ module W = Mimd_workloads
 module Config = Mimd_machine.Config
 
 (* ---------------------------------------------------------------- *)
+(* Part 0: the socket backend.
+
+   Everything that forks lives here, and [dist_socket_part] is the
+   very first thing main runs: OCaml 5 forbids Unix.fork once any
+   domain has been created, and every later part (Timed_run, the
+   server pool, Value_run) spawns domains.  The domain-side halves of
+   the comparison — the in-process mesh round trip and the domain
+   makespans for the same programs — are filled in afterwards by
+   [dist_domain_part].                                                *)
+
+type dist_row = {
+  d_kernel : string;
+  d_procs : int;
+  d_iterations : int;
+  d_program : Mimd_codegen.Program.t;
+  d_loop : Mimd_loop_ir.Ast.loop;
+  socket_makespan_ns : float;
+  mutable domain_makespan_ns : float;
+}
+
+type dist_stats = {
+  probe : Mimd_dist.Linkprobe.t;
+  assumed_k : int;
+  effective_k_rounded : int;
+  sched_time_assumed_k : int;  (* ewf p=2 schedule priced at the assumed k *)
+  sched_time_effective_k : int;  (* same loop rescheduled at the measured k *)
+  dist_rows : dist_row list;
+  mutable domain_rtt_ns : float;
+}
+
+let dist_compile ~src ~processors ~k ~iterations =
+  let loop = Mimd_loop_ir.Parser.parse src in
+  let flat = if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop in
+  let graph = (Mimd_loop_ir.Depend.analyze flat).Mimd_loop_ir.Depend.graph in
+  let machine = Config.make ~processors ~comm_estimate:k in
+  let full = Mimd_core.Full_sched.run ~graph ~machine ~iterations () in
+  (flat, Mimd_codegen.From_schedule.run full.Mimd_core.Full_sched.schedule)
+
+let dist_socket_part () =
+  let assumed_k = 2 in
+  let probe = Mimd_dist.Linkprobe.probe ~procs:2 () in
+  let effective_k =
+    match probe.Mimd_dist.Linkprobe.links with
+    | l :: _ -> l.Mimd_dist.Linkprobe.effective_k
+    | [] -> float_of_int assumed_k
+  in
+  let effective_k_rounded =
+    min 32 (max 1 (int_of_float (Float.round effective_k)))
+  in
+  (* Where does the optimal k move?  Price the ewf schedule at the
+     assumed k and again at the k the wire actually costs: the gap is
+     what a scheduler tuned for domains gives away on sockets. *)
+  let sched_time_at k =
+    let graph = W.Elliptic.graph () in
+    let machine = Config.make ~processors:2 ~comm_estimate:k in
+    let full = Mimd_core.Full_sched.run ~graph ~machine ~iterations:100 () in
+    Mimd_core.Full_sched.parallel_time full
+  in
+  let rows =
+    List.concat_map
+      (fun (d_kernel, src, d_iterations) ->
+        List.map
+          (fun d_procs ->
+            let d_loop, d_program =
+              dist_compile ~src ~processors:d_procs ~k:assumed_k ~iterations:d_iterations
+            in
+            let outcome = Mimd_dist.Runner.run ~loop:d_loop ~program:d_program () in
+            {
+              d_kernel;
+              d_procs;
+              d_iterations;
+              d_program;
+              d_loop;
+              socket_makespan_ns = outcome.Mimd_runtime.Value_run.makespan_ns;
+              domain_makespan_ns = Float.nan;
+            })
+          [ 2; 4 ])
+      [ ("ewf", W.Elliptic.source, 60); ("fig1", W.Fig1.source, 60) ]
+  in
+  {
+    probe;
+    assumed_k;
+    effective_k_rounded;
+    sched_time_assumed_k = sched_time_at assumed_k;
+    sched_time_effective_k = sched_time_at effective_k_rounded;
+    dist_rows = rows;
+    domain_rtt_ns = Float.nan;
+  }
+
+(* The in-process half: same programs on the domain runtime, plus the
+   mesh round trip to hold next to the socket one.  Safe to run any
+   time after the fork phase. *)
+let dist_domain_part stats =
+  let module Mesh = Mimd_runtime.Mesh in
+  let rounds = 200 in
+  let mesh : float Mesh.t = Mesh.create ~procs:2 ~capacity:256 in
+  let echo =
+    Domain.spawn (fun () ->
+        let st = Mesh.stash mesh in
+        for i = 0 to rounds - 1 do
+          let v = Mesh.recv_tag mesh st ~src:0 ~dst:1 ~tag:(0, i) in
+          Mesh.send mesh ~src:1 ~dst:0 ~tag:(1, i) v
+        done)
+  in
+  let st = Mesh.stash mesh in
+  let samples =
+    Array.init rounds (fun i ->
+        let t0 = Mimd_obs.Clock.now_ns () in
+        Mesh.send mesh ~src:0 ~dst:1 ~tag:(0, i) 1.0;
+        ignore (Mesh.recv_tag mesh st ~src:1 ~dst:0 ~tag:(1, i));
+        float_of_int (Mimd_obs.Clock.now_ns () - t0))
+  in
+  Domain.join echo;
+  Array.sort compare samples;
+  stats.domain_rtt_ns <- samples.(rounds / 2);
+  List.iter
+    (fun r ->
+      let outcome = Mimd_runtime.Value_run.run ~loop:r.d_loop ~program:r.d_program () in
+      r.domain_makespan_ns <- outcome.Mimd_runtime.Value_run.makespan_ns)
+    stats.dist_rows;
+  let socket_rtt =
+    match stats.probe.Mimd_dist.Linkprobe.links with
+    | l :: _ -> l.Mimd_dist.Linkprobe.rtt_ns
+    | [] -> Float.nan
+  in
+  print_endline "\n=== DIST (socket backend vs in-process domains) ===";
+  print_string (Mimd_dist.Linkprobe.render ~assumed_k:stats.assumed_k stats.probe);
+  Printf.printf "domain mesh rtt %.0f ns vs socket rtt %.0f ns (%.1fx)\n"
+    stats.domain_rtt_ns socket_rtt (socket_rtt /. stats.domain_rtt_ns);
+  Printf.printf
+    "ewf p=2 schedule: %d cycles priced at assumed k=%d, %d cycles rescheduled at \
+     measured k=%d\n"
+    stats.sched_time_assumed_k stats.assumed_k stats.sched_time_effective_k
+    stats.effective_k_rounded;
+  if stats.effective_k_rounded > stats.assumed_k then
+    Printf.printf
+      "  (the wire moves the optimal k upward: schedules for the socket backend should \
+       be priced at k~%d, trading more recomputation for fewer messages)\n"
+      stats.effective_k_rounded;
+  Printf.printf "%-8s %6s %6s %16s %16s\n" "kernel" "procs" "iters" "socket-make-us"
+    "domain-make-us";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6d %6d %16.0f %16.0f\n" r.d_kernel r.d_procs r.d_iterations
+        (r.socket_makespan_ns /. 1e3) (r.domain_makespan_ns /. 1e3))
+    stats.dist_rows;
+  flush stdout
+
+(* ---------------------------------------------------------------- *)
 (* Part 1: regenerate every table and figure                          *)
 
 let reproduce () =
@@ -258,9 +407,40 @@ let speedup_rows bechamel_rows =
       | _ -> None)
     pr3_baseline_ns
 
-let write_json ~runtime_rows ~server ~bechamel_rows path =
+let dist_json d =
+  let b = Buffer.create 1024 in
+  let link_rtt, link_one_way, link_k =
+    match d.probe.Mimd_dist.Linkprobe.links with
+    | l :: _ ->
+      Mimd_dist.Linkprobe.(l.rtt_ns, l.one_way_ns, l.effective_k)
+    | [] -> (Float.nan, Float.nan, Float.nan)
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"dist\": {\"cycle_ns\": %.1f, \"assumed_k\": %d, \"effective_k\": %.1f, \
+        \"effective_k_rounded\": %d, \"socket_rtt_ns\": %.0f, \"socket_one_way_ns\": \
+        %.0f, \"domain_mesh_rtt_ns\": %.0f, \"sched_time_at_assumed_k\": %d, \
+        \"sched_time_at_effective_k\": %d, \"runs\": [\n"
+       d.probe.Mimd_dist.Linkprobe.cycle_ns d.assumed_k link_k d.effective_k_rounded
+       link_rtt link_one_way d.domain_rtt_ns d.sched_time_assumed_k
+       d.sched_time_effective_k);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"processors\": %d, \"iterations\": %d, \
+            \"socket_makespan_ns\": %.0f, \"domain_makespan_ns\": %.0f}%s\n"
+           (json_escape r.d_kernel) r.d_procs r.d_iterations r.socket_makespan_ns
+           r.domain_makespan_ns
+           (if i = List.length d.dist_rows - 1 then "" else ",")))
+    d.dist_rows;
+  Buffer.add_string b "  ]},\n";
+  Buffer.contents b
+
+let write_json ~dist ~runtime_rows ~server ~bechamel_rows path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": 1,\n  \"generated_by\": \"bench/main.exe\",\n";
+  Buffer.add_string b (dist_json dist);
   Buffer.add_string b "  \"runtime\": [\n";
   List.iteri
     (fun i r ->
@@ -482,9 +662,12 @@ let quick () =
 let () =
   if Array.exists (( = ) "--quick") Sys.argv then quick ()
   else begin
+    (* forks first, domains after — see Part 0 *)
+    let dist = dist_socket_part () in
     reproduce ();
     let runtime_rows = runtime_comparison () in
+    dist_domain_part dist;
     let server = server_comparison () in
     let bechamel_rows = benchmark () in
-    write_json ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"
+    write_json ~dist ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"
   end

@@ -106,6 +106,22 @@ let trace_t =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+(* Commands that print incrementally ([Format]'s [@.] flushes at every
+   line) can hit a stdout the reader already closed (mimdloop ... |
+   head): with SIGPIPE ignored the flush raises [Sys_error "Broken
+   pipe"] mid-command, which cmdliner reports as an internal error.  A
+   reader that stopped consuming is not an error — drop the rest of
+   the output and exit cleanly, like the at_exit guard below. *)
+let guard_broken_pipe f =
+  try f ()
+  with Sys_error msg when msg = "Broken pipe" -> (
+    try
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 null Unix.stdout;
+      Unix.close null;
+      0
+    with Unix.Unix_error _ -> 0)
+
 (* Run [f] with tracing on when a trace file was requested; the export
    happens after [f] even when it fails, so partial traces of failing
    runs are still written. *)
@@ -130,6 +146,32 @@ let with_trace trace f =
     | exception Sys_error e ->
       prerr_endline ("mimdloop: " ^ e);
       1)
+
+(* Long-running commands (serve) stream instead of exporting at exit:
+   events flush to the file as the buffers fill, so a killed server
+   still leaves a readable trace (the Chrome viewer tolerates the
+   missing closing bracket). *)
+let with_streaming_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path -> (
+    Mimd_obs.Trace.clear ();
+    Mimd_obs.Trace.enable ();
+    match Mimd_obs.Trace.set_sink ~threshold:256 path with
+    | exception Sys_error e ->
+      Mimd_obs.Trace.disable ();
+      prerr_endline ("mimdloop: " ^ e);
+      1
+    | () ->
+      let code =
+        Fun.protect
+          ~finally:(fun () ->
+            Mimd_obs.Trace.close_sink ();
+            Mimd_obs.Trace.disable ())
+          f
+      in
+      Printf.eprintf "mimdloop: trace streamed to %s\n%!" path;
+      code)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -449,39 +491,78 @@ let verify_cmd =
        ~doc:"Compile a loop, run it in parallel on the simulator, and compare values against sequential execution")
     Term.(const run $ file_t $ iterations_t $ processors_t $ k_t $ mm_t)
 
+(* Shared by run-parallel and run-dist: resolve a loop from a named
+   source, a file, or the Section-4 random generator. *)
+let loop_sources =
+  [
+    ("fig7", Mimd_workloads.Fig7.source, "paper Figure 7 loop");
+    ("fig1", Mimd_workloads.Fig1.source, "Figure 1 classification loop (loop-IR rendition)");
+    ("ewf", Mimd_workloads.Elliptic.source, "elliptic wave filter (loop-IR rendition)");
+    ("prefix", "for i = 1 to n { X[i] = X[i-1] + Y[i]; }", "first-order prefix sum");
+  ]
+
+let load_loop ~src ~file ~seed =
+  match (file, seed) with
+  | Some path, None -> begin
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> begin
+      match Mimd_loop_ir.Parser.parse s with
+      | loop -> Ok loop
+      | exception Mimd_loop_ir.Parser.Error m -> Error ("parse error: " ^ m)
+      | exception Mimd_loop_ir.Lexer.Error { position; message } ->
+        Error (Printf.sprintf "lex error at %d: %s" position message)
+    end
+    | exception Sys_error e -> Error e
+  end
+  | None, Some seed -> Ok (W.Random_loop.generate_loop ~seed ())
+  | None, None -> begin
+    match List.find_opt (fun (n, _, _) -> n = src) loop_sources with
+    | Some (_, s, _) -> Ok (Mimd_loop_ir.Parser.parse s)
+    | None ->
+      Error
+        (Printf.sprintf "unknown loop source %S; known: %s" src
+           (String.concat ", " (List.map (fun (n, _, _) -> n) loop_sources)))
+  end
+  | Some _, Some _ -> Error "choose at most one of --file, --seed"
+
+let src_t =
+  let doc =
+    "Named loop source: " ^ String.concat ", " (List.map (fun (n, _, _) -> n) loop_sources)
+    ^ "."
+  in
+  Arg.(value & opt string "fig7" & info [ "src" ] ~docv:"NAME" ~doc)
+
+(* Compile a loop down to a per-processor message-passing program —
+   the front end of run-dist (run-parallel keeps its own inline copy
+   for its cache-repeat reporting).  Codegen runs with validate:true,
+   so the independent token simulation audits the message protocol
+   over whichever channel backend runs it next. *)
+let compile_for_run ~loop ~machine ~iterations ~no_cache =
+  let flat =
+    if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
+  in
+  let graph = (Mimd_loop_ir.Depend.analyze flat).Mimd_loop_ir.Depend.graph in
+  let full =
+    if no_cache then Full_sched.run ~graph ~machine ~iterations ()
+    else
+      Mimd_runtime.Schedule_cache.find_or_compute Mimd_runtime.Schedule_cache.global ~graph
+        ~machine ~iterations ()
+  in
+  let schedule = full.Full_sched.schedule in
+  if
+    Graph.node_count (Schedule.graph schedule)
+    <> List.length (Mimd_loop_ir.Ast.assignments flat)
+  then
+    Error
+      "loop needed unwinding (some dependence distance > 1); real execution supports \
+       distances in {0, 1} only"
+  else
+    match Mimd_codegen.From_schedule.run ~validate:true schedule with
+    | exception Mimd_codegen.From_schedule.Invalid_program m ->
+      Error ("generated program rejected by the validator: " ^ m)
+    | program -> Ok (flat, full, program)
+
 let run_parallel_cmd =
-  let loop_sources =
-    [
-      ("fig7", Mimd_workloads.Fig7.source, "paper Figure 7 loop");
-      ("fig1", Mimd_workloads.Fig1.source, "Figure 1 classification loop (loop-IR rendition)");
-      ("ewf", Mimd_workloads.Elliptic.source, "elliptic wave filter (loop-IR rendition)");
-      ("prefix", "for i = 1 to n { X[i] = X[i-1] + Y[i]; }", "first-order prefix sum");
-    ]
-  in
-  let load_loop ~src ~file ~seed =
-    match (file, seed) with
-    | Some path, None -> begin
-      match In_channel.with_open_text path In_channel.input_all with
-      | s -> begin
-        match Mimd_loop_ir.Parser.parse s with
-        | loop -> Ok loop
-        | exception Mimd_loop_ir.Parser.Error m -> Error ("parse error: " ^ m)
-        | exception Mimd_loop_ir.Lexer.Error { position; message } ->
-          Error (Printf.sprintf "lex error at %d: %s" position message)
-      end
-      | exception Sys_error e -> Error e
-    end
-    | None, Some seed -> Ok (W.Random_loop.generate_loop ~seed ())
-    | None, None -> begin
-      match List.find_opt (fun (n, _, _) -> n = src) loop_sources with
-      | Some (_, s, _) -> Ok (Mimd_loop_ir.Parser.parse s)
-      | None ->
-        Error
-          (Printf.sprintf "unknown loop source %S; known: %s" src
-             (String.concat ", " (List.map (fun (n, _, _) -> n) loop_sources)))
-    end
-    | Some _, Some _ -> Error "choose at most one of --file, --seed"
-  in
   let run src file seed processors k iterations timed grain_us repeat no_cache timeout fault
       trace =
     match load_loop ~src ~file ~seed with
@@ -489,6 +570,7 @@ let run_parallel_cmd =
       prerr_endline ("mimdloop: " ^ e);
       1
     | Ok loop ->
+      guard_broken_pipe @@ fun () ->
       with_trace trace @@ fun () ->
       let flat =
         if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
@@ -624,13 +706,6 @@ let run_parallel_cmd =
             end
         end
       end
-  in
-  let src_t =
-    let doc =
-      "Named loop source: " ^ String.concat ", " (List.map (fun (n, _, _) -> n) loop_sources)
-      ^ "."
-    in
-    Arg.(value & opt string "fig7" & info [ "src" ] ~docv:"NAME" ~doc)
   in
   let timed_t =
     Arg.(value & flag & info [ "timed" ]
@@ -847,7 +922,7 @@ let make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate =
 
 let serve_cmd =
   let run stdio socket jobs queue_depth cache_dir no_disk_cache validate trace =
-    with_trace trace @@ fun () ->
+    with_streaming_trace trace @@ fun () ->
     let server, pool =
       make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate
     in
@@ -912,6 +987,216 @@ let batch_cmd =
     Term.(
       const run $ paths_t $ jobs_t $ queue_depth_t $ cache_dir_t $ no_disk_cache_t
       $ validate_sched_t $ processors_t $ k_t $ iterations_t $ deadline_t)
+
+(* ------------------------------------------------------------------ *)
+(* The socket backend: run-dist and the sharded serve fleet (route)    *)
+
+let dist_timeout_t =
+  Arg.(value & opt float 5.0 & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Declare the distributed run stalled after this long without any child \
+               report (the socket analogue of the runtime watchdog).")
+
+let run_dist_cmd =
+  let module Runner = Mimd_dist.Runner in
+  let module VR = Mimd_runtime.Value_run in
+  (* One dist execution: compile, fork, compare against the sequential
+     interpreter.  Returns an error string instead of printing so the
+     sweep can aggregate. *)
+  let dist_once ?sabotage ~loop ~machine ~iterations ~timeout () =
+    match compile_for_run ~loop ~machine ~iterations ~no_cache:false with
+    | Error e -> Error e
+    | Ok (flat, _full, program) -> (
+      match Runner.run ?sabotage ~timeout ~loop:flat ~program () with
+      | exception Runner.Dist_error f -> Error ("dist failure: " ^ Runner.describe f)
+      | outcome -> (
+        match VR.check_against_sequential ~loop:flat ~iterations outcome with
+        | Error e -> Error ("MISMATCH vs sequential interpreter: " ^ e)
+        | Ok () -> Ok (flat, program, outcome)))
+  in
+  let run src file seed processors k iterations timeout probe vs_domains sweep fault trace =
+    guard_broken_pipe @@ fun () ->
+    with_trace trace @@ fun () ->
+    let machine = machine_of processors k in
+    (* Forks before domains, always: probe and dist runs come first;
+       the in-domain comparison (--vs-domains) runs last. *)
+    if probe then
+      print_string
+        (Mimd_dist.Linkprobe.render ~assumed_k:k
+           (Mimd_dist.Linkprobe.probe ~procs:(max 2 processors) ()));
+    if sweep > 0 then begin
+      (* Differential sweep: seeded random loops, socket backend vs
+         the sequential interpreter, all in one process. *)
+      let failures = ref [] in
+      for seed = 1 to sweep do
+        let loop = W.Random_loop.generate_loop ~seed () in
+        match dist_once ~loop ~machine ~iterations ~timeout () with
+        | Ok _ -> ()
+        | Error e -> failures := (seed, e) :: !failures
+      done;
+      match !failures with
+      | [] ->
+        Format.printf "sweep OK: %d seeded loop(s) bit-identical over the socket backend@."
+          sweep;
+        0
+      | fs ->
+        List.iter
+          (fun (seed, e) -> Format.printf "seed %d: %s@." seed e)
+          (List.rev fs);
+        Format.printf "sweep FAILED: %d of %d seed(s)@." (List.length fs) sweep;
+        1
+    end
+    else
+      match load_loop ~src ~file ~seed with
+      | Error e ->
+        prerr_endline ("mimdloop: " ^ e);
+        1
+      | Ok loop -> (
+        let sabotage =
+          match fault with
+          | `None -> None
+          | `Kill_child ->
+            Some
+              (fun pids ->
+                (* Deterministic mid-run sabotage: SIGKILL the PE0
+                   child right after the collective start; the
+                   supervisor must surface a structured child-exit
+                   error and reap the rest. *)
+                try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ())
+        in
+        match dist_once ?sabotage ~loop ~machine ~iterations ~timeout () with
+        | Error e ->
+          prerr_endline ("mimdloop: " ^ e);
+          1
+        | Ok (flat, program, outcome) ->
+          Format.printf
+            "OK: %d forked process(es) computed all %d iteration(s) bit-identically to \
+             the sequential interpreter@."
+            outcome.VR.domains iterations;
+          Format.printf "  messages: %d, wall-clock makespan: %.0f us@." outcome.VR.messages
+            (outcome.VR.makespan_ns /. 1e3);
+          Array.iteri
+            (fun j ns -> Format.printf "  process %d finished at %.0f us@." j (ns /. 1e3))
+            outcome.VR.domain_wall_ns;
+          if not vs_domains then 0
+          else begin
+            (* The in-domain runtime runs strictly after every fork. *)
+            match VR.run ~loop:flat ~program () with
+            | exception Mimd_runtime.Watchdog.Runtime_deadlock stall ->
+              prerr_endline
+                ("mimdloop: runtime deadlock in the domain comparison\n"
+                ^ Mimd_runtime.Watchdog.describe stall);
+              1
+            | domains_outcome ->
+              if
+                domains_outcome.VR.instance_values = outcome.VR.instance_values
+                && domains_outcome.VR.final = outcome.VR.final
+              then begin
+                Format.printf
+                  "  vs domains: bit-identical (%d instance value(s), %d final cell(s))@."
+                  (List.length outcome.VR.instance_values)
+                  (List.length outcome.VR.final);
+                0
+              end
+              else begin
+                Format.printf "MISMATCH between socket and domain backends@.";
+                1
+              end
+          end)
+  in
+  let probe_t =
+    Arg.(value & flag & info [ "probe" ]
+           ~doc:"First measure real per-link round-trip cost over the socket mesh and \
+                 report the effective k next to the scheduler's assumed k.")
+  in
+  let vs_domains_t =
+    Arg.(value & flag & info [ "vs-domains" ]
+           ~doc:"Also execute on the in-process domain runtime and require bit-identical \
+                 instance values (runs after the forked execution; OCaml forbids forking \
+                 once domains exist).")
+  in
+  let sweep_t =
+    Arg.(value & opt int 0 & info [ "sweep" ] ~docv:"N"
+           ~doc:"Differential sweep: run seeds 1..$(docv) of the Section-4 random loop \
+                 generator through the socket backend and compare each against the \
+                 sequential interpreter (ignores --src/--file/--seed).")
+  in
+  let fault_t =
+    let faults = [ ("none", `None); ("kill-child", `Kill_child) ] in
+    Arg.(value & opt (enum faults) `None & info [ "inject-fault" ] ~docv:"FAULT"
+           ~doc:"Deliberately sabotage the run to demonstrate the failure exits: \
+                 $(b,kill-child) SIGKILLs one child mid-run (the supervisor must report \
+                 a structured child-exit error and reap every process).")
+  in
+  Cmd.v
+    (Cmd.info "run-dist"
+       ~doc:"Execute a compiled loop on forked OS processes connected by Unix-domain \
+             sockets (one process per scheduled processor) and check the values against \
+             the sequential interpreter")
+    Term.(
+      const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t
+      $ dist_timeout_t $ probe_t $ vs_domains_t $ sweep_t $ fault_t $ trace_t)
+
+let route_cmd =
+  let run workers socket worker_dir max_inflight jobs queue_depth cache_dir no_disk_cache
+      validate trace =
+    if workers < 1 then begin
+      prerr_endline "mimdloop: route needs --workers >= 1";
+      1
+    end
+    else begin
+      (* Streaming trace: the router sets its own sink (and each
+         worker its own file) only after the fleet has forked, so
+         children never inherit the parent's sink fd. *)
+      if Option.is_some trace then Mimd_obs.Trace.enable ();
+      let cfg =
+        {
+          Mimd_dist.Router.workers;
+          socket;
+          worker_dir = Option.value ~default:(Filename.dirname socket) worker_dir;
+          max_inflight;
+          jobs;
+          queue_depth;
+          cache_dir =
+            (if no_disk_cache then None
+             else
+               Some (Option.value ~default:(Mimd_server.Disk_cache.default_dir ()) cache_dir));
+          validate;
+          trace;
+        }
+      in
+      let code = Mimd_dist.Router.serve cfg in
+      if Option.is_some trace then Mimd_obs.Trace.disable ();
+      code
+    end
+  in
+  let workers_t =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Size of the serve fleet: $(docv) forked worker processes, each a full \
+                 compile service on its own Unix socket.")
+  in
+  let socket_t =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The router's own Unix-domain socket (the protocol is identical to \
+                 $(b,serve --socket)).")
+  in
+  let worker_dir_t =
+    Arg.(value & opt (some string) None & info [ "worker-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the per-worker sockets (default: the router socket's \
+                 directory).")
+  in
+  let max_inflight_t =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission control: bound on compile requests in flight across the \
+                 fleet; the excess is shed with a structured $(b,overload) error.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Sharded serve fleet: a consistent-hash router in front of N forked serve \
+             workers sharing one disk cache, with per-worker health, failover and \
+             bounded-in-flight admission control")
+    Term.(
+      const run $ workers_t $ socket_t $ worker_dir_t $ max_inflight_t $ jobs_t
+      $ queue_depth_t $ cache_dir_t $ no_disk_cache_t $ validate_sched_t $ trace_t)
 
 let report_cmd =
   let run output iterations =
@@ -1103,8 +1388,10 @@ let main_cmd =
       verify_cmd;
       trace_cmd;
       run_parallel_cmd;
+      run_dist_cmd;
       check_cmd;
       serve_cmd;
+      route_cmd;
       batch_cmd;
       report_cmd;
     ]

@@ -1,0 +1,39 @@
+(** Measure what a message actually costs on this host's wire.
+
+    The scheduler prices every cross-processor value at [k] abstract
+    cycles (machine parameter, paper §2).  The socket backend makes
+    that cost real: a {!Wire}-framed tagged float through a Unix
+    socketpair, kernel crossings included.  The probe forks an echo
+    peer per link, round-trips real frames, and divides the median
+    one-way latency by a calibrated per-cycle cost, yielding the
+    {e effective} [k] to hold next to the assumed one — the input the
+    auto-tuning roadmap item needs.
+
+    Forks: run before any domain is spawned (see {!Runner}). *)
+
+type link = {
+  a : int;
+  b : int;
+  rtt_ns : float;  (** median round trip *)
+  one_way_ns : float;  (** rtt / 2 *)
+  effective_k : float;  (** one-way cost in calibrated cycles *)
+}
+
+type t = { cycle_ns : float; links : link list }
+
+val calibrate_cycle_ns : unit -> float
+(** Nanoseconds per abstract machine cycle on this host: the timed mix
+    (hashtable store/load + float evaluation) approximating one
+    [Compute] instruction of the value runtime. *)
+
+val probe : ?rounds:int -> ?procs:int -> unit -> t
+(** Probe every link of a [procs]-processor mesh (default 2; all
+    host-local links are physically identical, more procs mainly
+    demonstrates the per-link shape).  [rounds] (default 200)
+    round-trips per link, median taken.
+    @raise Invalid_argument when [procs < 2]. *)
+
+val render : ?assumed_k:int -> t -> string
+(** Human report; with [assumed_k] each line shows the scheduler's
+    assumption next to the measurement, plus a re-tune hint when they
+    diverge wildly. *)

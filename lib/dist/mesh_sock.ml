@@ -1,0 +1,114 @@
+module Value_run = Mimd_runtime.Value_run
+module Trace = Mimd_obs.Trace
+
+(* One full-duplex socketpair per unordered processor pair, created in
+   the parent before any fork so every child inherits its own row.
+   [fds.(i).(j)] is processor [i]'s endpoint of the i<->j link: writes
+   go to [j], reads come from [j] (the two directions of one stream
+   socket never interleave).  The diagonal is [None] — a self-message
+   is a codegen bug, same as {!Mimd_runtime.Mesh}. *)
+
+type t = { procs : int; fds : Unix.file_descr option array array }
+
+(* Approximate the in-process mesh's bounded channels with the kernel
+   socket buffer: capacity messages x a per-message cost.  A sender
+   past the bound blocks in write(2) exactly like [Channel.send] past
+   its capacity.  The cost that matters is not the frame's byte length
+   (~50 bytes) but what the kernel *charges* the buffer per sendmsg on
+   AF_UNIX: each small write becomes one skb accounted at its truesize
+   — frame + struct sk_buff + aligned data + shared info, close to 1
+   KiB.  Undershooting this makes the socket bound *tighter* than the
+   domain mesh's and deadlocks programs the token simulation proved
+   safe at [capacity], so budget a full KiB per message.  (The kernel
+   clamps the request to wmem_max and then doubles it, so on a stock
+   host the effective bound still clears [capacity] messages.) *)
+let frame_estimate = 1024
+
+let buffer_bytes ~capacity = capacity * frame_estimate
+
+let create ?(capacity = Value_run.default_channel_capacity) ~procs () =
+  if procs < 1 then invalid_arg "Mesh_sock.create: procs < 1";
+  let fds = Array.init procs (fun _ -> Array.make procs None) in
+  for i = 0 to procs - 1 do
+    for j = i + 1 to procs - 1 do
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      List.iter
+        (fun fd ->
+          try
+            Unix.setsockopt_int fd Unix.SO_SNDBUF (buffer_bytes ~capacity);
+            Unix.setsockopt_int fd Unix.SO_RCVBUF (buffer_bytes ~capacity)
+          with Unix.Unix_error _ -> ())
+        [ a; b ];
+      fds.(i).(j) <- Some a;
+      fds.(j).(i) <- Some b
+    done
+  done;
+  { procs; fds }
+
+let procs t = t.procs
+
+let link t ~proc ~peer =
+  match t.fds.(proc).(peer) with
+  | Some fd -> fd
+  | None -> invalid_arg "Mesh_sock: self link"
+
+(* Child-side: keep only row [proc], close every other inherited
+   endpoint so a dead peer turns into EOF instead of a silent hang. *)
+(* Closed slots become [None] so a later close cannot hit a reused
+   descriptor number. *)
+let close_row row =
+  Array.iteri
+    (fun i -> function
+      | Some fd ->
+        row.(i) <- None;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    row
+
+let retain_only t ~proc =
+  for i = 0 to t.procs - 1 do
+    if i <> proc then close_row t.fds.(i)
+  done
+
+let close_all t = Array.iter close_row t.fds
+
+exception Link_down of { proc : int; peer : int; error : Wire.error }
+
+let chans t ~proc =
+  let stash : ((int * int) * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let traced = Trace.is_enabled () in
+  let send ~dst ~tag v =
+    let fd = link t ~proc ~peer:dst in
+    let payload : (int * int) * float = (tag, v) in
+    if traced then
+      Trace.span ~cat:"dist"
+        ~args:[ ("dst", string_of_int dst) ]
+        "dist.send"
+        (fun () -> Wire.write fd payload)
+    else Wire.write fd payload
+  in
+  let rec pull fd ~src ~tag =
+    match (Wire.read fd : ((int * int) * float, Wire.error) result) with
+    | Error error -> raise (Link_down { proc; peer = src; error })
+    | Ok (t', v) ->
+      if t' = tag then v
+      else begin
+        Hashtbl.replace stash (t', src) v;
+        pull fd ~src ~tag
+      end
+  in
+  let recv ~src ~tag =
+    match Hashtbl.find_opt stash (tag, src) with
+    | Some v ->
+      Hashtbl.remove stash (tag, src);
+      v
+    | None ->
+      let fd = link t ~proc ~peer:src in
+      if traced then
+        Trace.span ~cat:"dist"
+          ~args:[ ("src", string_of_int src) ]
+          "dist.recv"
+          (fun () -> pull fd ~src ~tag)
+      else pull fd ~src ~tag
+  in
+  { Value_run.send; recv }

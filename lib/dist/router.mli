@@ -1,0 +1,54 @@
+(** The serve fleet: a thin router in front of N forked [serve
+    --socket] workers.
+
+    Requests (the ordinary newline-delimited JSON of
+    {!Mimd_server.Protocol}) are sharded by a consistent hash of the
+    compile request's semantic fields ({!Ring}), so one loop always
+    lands on one worker — its memory LRU stays hot — while all
+    workers share one content-addressed disk cache directory.
+    Admission control bounds the number of compile requests in flight
+    across the fleet and sheds the excess with a structured
+    [overload] error.  When a worker process dies, its in-flight
+    requests re-shard onto the survivors (accepted requests are never
+    dropped while any worker lives) and the death is surfaced in
+    [stats]/metrics; there is no automatic respawn — the failure
+    model is documented in [docs/DISTRIBUTED.md].
+
+    Router-answered ops: [ping], [stats] (fleet topology: worker
+    pids, liveness, in-flight, shed/retry counts), [metrics] (the
+    [mimd_route_*] registry), [shutdown] (stops the fleet).
+    [compile] is forwarded with a router-assigned id and the reply is
+    mapped back to the client's id.
+
+    Fork ordering: the fleet forks before the router creates any
+    thread, and worker children build their own domain pools — see
+    {!Runner} for the OCaml 5 constraint. *)
+
+type config = {
+  workers : int;  (** fleet size (>= 1) *)
+  socket : string;  (** the router's own Unix-socket path *)
+  worker_dir : string;  (** directory for [worker-<i>.sock] paths *)
+  max_inflight : int;  (** fleet-wide compile admission bound *)
+  jobs : int option;  (** per-worker pool domains; [None] = auto *)
+  queue_depth : int;  (** per-worker pool queue bound *)
+  cache_dir : string option;  (** shared disk cache; [None] = off *)
+  validate : bool;  (** per-worker service validation default *)
+  trace : string option;
+      (** streaming-sink base: the router streams to this path, worker
+          [i] to [<path>.worker<i>] (see {!Mimd_obs.Trace.set_sink}) *)
+}
+
+val default_config : workers:int -> socket:string -> config
+(** [max_inflight 64], [queue_depth 64], auto jobs, no disk cache, no
+    validation, no trace; [worker_dir] beside the socket. *)
+
+val shard_key : Mimd_server.Protocol.compile_params -> string
+(** The digest the router shards by: loop source, processors, [k] and
+    iterations.  Deterministic across processes (exposed for the
+    tests). *)
+
+val serve : config -> int
+(** Spawn the fleet, wait for every worker's boot ping, serve until a
+    [shutdown] request; returns the exit code.  Worker sockets and
+    the router socket are unlinked on the way out; all children are
+    reaped. *)

@@ -1,0 +1,206 @@
+module Program = Mimd_codegen.Program
+module Graph = Mimd_ddg.Graph
+module Ast = Mimd_loop_ir.Ast
+module Interp = Mimd_loop_ir.Interp
+module Value_run = Mimd_runtime.Value_run
+module Trace = Mimd_obs.Trace
+module Clock = Mimd_obs.Clock
+
+type child_ok = {
+  computed : ((int * int) * float) list;
+  sent : int;
+  wall_ns : float;
+  trace : Trace.captured option;
+}
+
+(* What travels over a child's control socket: its whole result, or
+   the rendering of whatever it died of. *)
+type report = (child_ok, string) result
+
+type failure =
+  | Stalled of { timeout : float; waiting : int list }
+  | Child_exit of { proc : int; status : string }
+  | Child_error of { proc : int; message : string }
+
+exception Dist_error of failure
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else Printf.sprintf "signal %d" s
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+let describe = function
+  | Stalled { timeout; waiting } ->
+    Printf.sprintf
+      "distributed execution stalled: no child reported for %.1f s; waiting on PE %s"
+      timeout
+      (String.concat ", " (List.map string_of_int waiting))
+  | Child_exit { proc; status } ->
+    Printf.sprintf "child for PE %d died without reporting (%s)" proc status
+  | Child_error { proc; message } -> Printf.sprintf "child for PE %d failed: %s" proc message
+
+(* Fork one process per scheduled processor.  MUST run before this
+   process ever spawns a domain: OCaml 5 forbids Unix.fork once any
+   domain was created (even a joined one), which is why run-dist does
+   its socket run before any in-domain comparison and why the dist
+   test suite runs first. *)
+let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0)
+    ?channel_capacity ?sabotage ~loop ~program () =
+  if not (Ast.is_flat loop) then invalid_arg "Runner.run: loop must be flat";
+  if List.length (Ast.assignments loop) <> Graph.node_count program.Program.graph then
+    invalid_arg "Runner.run: statement/node count mismatch";
+  (* A child that died mid-frame must cost an EPIPE, not a fatal
+     SIGPIPE in the supervisor. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let procs = program.Program.processors in
+  let mesh = Mesh_sock.create ?capacity:channel_capacity ~procs () in
+  (* One control socketpair per child, all created before the first
+     fork so each child can close every endpoint that is not its own. *)
+  let ctl = Array.init procs (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0) in
+  let parent_end j = fst ctl.(j) and child_end j = snd ctl.(j) in
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let child j =
+    (* Keep: our mesh row and our control endpoint.  Everything else
+       inherited from the parent closes now, so a dead peer is EOF. *)
+    Mesh_sock.retain_only mesh ~proc:j;
+    for i = 0 to procs - 1 do
+      close_quietly (parent_end i);
+      if i <> j then close_quietly (child_end i)
+    done;
+    let fd = child_end j in
+    (* The fork copied the parent's trace buffer; drop those events so
+       a capture holds only this child's own spans. *)
+    if Trace.is_enabled () then Trace.clear ();
+    (* Rendezvous: all children start on the parent's "go", so wall
+       clocks measure execution, not staggered spawn. *)
+    let b = Bytes.create 1 in
+    (match Unix.read fd b 0 1 with
+    | 0 -> Unix._exit 2 (* parent vanished before the go *)
+    | _ -> ()
+    | exception Unix.Unix_error _ -> Unix._exit 2);
+    let t0 = Clock.now_ns () in
+    let outcome : report =
+      match
+        let chans = Mesh_sock.chans mesh ~proc:j in
+        Value_run.worker ~init ~scalars ~loop ~program ~proc:j ~chans ()
+      with
+      | computed, sent ->
+        Ok
+          {
+            computed;
+            sent;
+            wall_ns = float_of_int (Clock.now_ns () - t0);
+            trace = (if Trace.is_enabled () then Some (Trace.capture ()) else None);
+          }
+      | exception e -> Error (Printexc.to_string e)
+    in
+    (try Wire.write fd outcome with _ -> ());
+    Unix._exit (match outcome with Ok _ -> 0 | Error _ -> 1)
+  in
+  let pids = Array.make procs (-1) in
+  Trace.span ~cat:"dist" ~args:[ ("procs", string_of_int procs) ] "dist.spawn" (fun () ->
+      for j = 0 to procs - 1 do
+        match Unix.fork () with 0 -> child j | pid -> pids.(j) <- pid
+      done);
+  (* Parent: no link endpoints, no child-side control endpoints. *)
+  Mesh_sock.close_all mesh;
+  Array.iteri (fun j _ -> close_quietly (child_end j)) ctl;
+  let reaped = Array.make procs false in
+  let reap_status j =
+    if not reaped.(j) then begin
+      reaped.(j) <- true;
+      match Unix.waitpid [] pids.(j) with
+      | _, status -> Some status
+      | exception Unix.Unix_error _ -> None
+    end
+    else None
+  in
+  let fail failure =
+    Array.iteri
+      (fun j pid ->
+        if not reaped.(j) then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (reap_status j)
+        end)
+      pids;
+    Array.iteri (fun j _ -> close_quietly (parent_end j)) ctl;
+    raise (Dist_error failure)
+  in
+  (* Go. *)
+  let go = Bytes.of_string "g" in
+  Array.iteri
+    (fun j _ ->
+      match Unix.write (parent_end j) go 0 1 with
+      | _ -> ()
+      | exception Unix.Unix_error _ ->
+        (* The child is already gone; the collect loop will see EOF
+           and report its exit status. *)
+        ())
+    ctl;
+  (match sabotage with None -> () | Some f -> f (Array.copy pids));
+  (* Collect: select across the control sockets; [timeout] seconds
+     with no report anywhere is the distributed analogue of the
+     watchdog's stall. *)
+  let reports : child_ok option array = Array.make procs None in
+  let remaining = ref procs in
+  Trace.span ~cat:"dist" "dist.join" (fun () ->
+      while !remaining > 0 do
+        let pending =
+          List.filter_map
+            (fun j -> if reports.(j) = None then Some (parent_end j) else None)
+            (List.init procs Fun.id)
+        in
+        match Unix.select pending [] [] timeout with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ ->
+          let waiting =
+            List.filter (fun j -> reports.(j) = None) (List.init procs Fun.id)
+          in
+          fail (Stalled { timeout; waiting })
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              let j =
+                let rec find i = if parent_end i == fd then i else find (i + 1) in
+                find 0
+              in
+              match (Wire.read fd : (report, Wire.error) result) with
+              | Ok (Ok ok) ->
+                reports.(j) <- Some ok;
+                decr remaining;
+                ignore (reap_status j)
+              | Ok (Error message) -> fail (Child_error { proc = j; message })
+              | Error _ ->
+                let status =
+                  match reap_status j with
+                  | Some st -> status_string st
+                  | None -> "already reaped"
+                in
+                fail (Child_exit { proc = j; status }))
+            ready
+      done);
+  Array.iteri (fun j _ -> close_quietly (parent_end j)) ctl;
+  Array.iteri (fun j _ -> ignore (reap_status j)) pids;
+  let results =
+    Array.init procs (fun j ->
+        match reports.(j) with
+        | Some r -> (r.computed, r.sent, r.wall_ns)
+        | None -> assert false)
+  in
+  (* Merge the children's spans into this process's capture: each
+     child's timeline lands on its own track block. *)
+  Array.iteri
+    (fun j r ->
+      match r with
+      | Some { trace = Some c; _ } -> Trace.absorb ~tid_offset:((j + 1) * 1000) c
+      | _ -> ())
+    reports;
+  Value_run.finalize ~loop ~program ~results

@@ -1,0 +1,56 @@
+(** The supervisor of the socket runtime: one forked OS process per
+    scheduled processor, {!Mesh_sock} links between them, the shared
+    {!Mimd_runtime.Value_run.worker} inside each, and a parent that
+    spawns, releases them together, collects per-child reports over
+    control sockets and folds them through
+    {!Mimd_runtime.Value_run.finalize} — so a distributed run yields
+    the same [outcome] (bit-identical values) as the domain runtime
+    and the interpreter.
+
+    Failure is structured, mirroring
+    {!Mimd_runtime.Watchdog.Runtime_deadlock}: a silent stall raises
+    {!Dist_error}[ (Stalled _)], a crashed child
+    {!Dist_error}[ (Child_exit _)], a child-side exception
+    {!Dist_error}[ (Child_error _)].  On every failure path the
+    supervisor SIGKILLs and reaps all remaining children before
+    raising — no orphans, ever (the fault-injection tests pin this
+    down).
+
+    {b Fork ordering}: OCaml 5 forbids [Unix.fork] in a process that
+    has ever created a domain.  Call this before anything that spawns
+    domains ({!Mimd_runtime.Value_run.run}, the server pool, parallel
+    benchmarks). *)
+
+type failure =
+  | Stalled of { timeout : float; waiting : int list }
+      (** no child reported for [timeout] seconds; [waiting] lists the
+          processors still outstanding *)
+  | Child_exit of { proc : int; status : string }
+      (** the child died (crash, kill) without reporting *)
+  | Child_error of { proc : int; message : string }
+      (** the child's worker raised; [message] is the exception *)
+
+exception Dist_error of failure
+
+val describe : failure -> string
+
+val run :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  ?timeout:float ->
+  ?channel_capacity:int ->
+  ?sabotage:(int array -> unit) ->
+  loop:Mimd_loop_ir.Ast.loop ->
+  program:Mimd_codegen.Program.t ->
+  unit ->
+  Mimd_runtime.Value_run.outcome
+(** Execute [program] on [program.processors] forked processes.
+    [timeout] (default 5 s) is the no-report stall bound.  [sabotage]
+    is a fault-injection hook handed the child pids right after the
+    collective start — the kill-child tests and
+    [run-dist --inject-fault] use it; production callers omit it.
+    While tracing is on, children capture their own [run.*]/[dist.*]
+    spans and the parent absorbs them into its export on distinct
+    tracks.
+    @raise Invalid_argument on a malformed loop/program pair.
+    @raise Dist_error as above; all children are reaped first. *)

@@ -1,0 +1,83 @@
+(* Length-prefixed marshal frames over a file descriptor.
+
+   Frame layout:  "MDW1" | u32 big-endian payload length | payload
+   where the payload is [Marshal.to_string v []].
+
+   The magic makes a desynchronised stream (or a non-frame writer on
+   the same fd) fail as [Bad_magic] instead of a wild allocation from
+   interpreting garbage as a length; the length bound rejects frames
+   that would allocate absurdly before a single payload byte is read. *)
+
+let magic = "MDW1"
+let header_len = 8
+let default_max_frame = 1 lsl 26 (* 64 MiB *)
+
+type error =
+  | Closed
+  | Bad_magic
+  | Oversized of int
+  | Truncated
+  | Decode_failure
+
+let error_to_string = function
+  | Closed -> "peer closed the stream"
+  | Bad_magic -> "bad frame magic (stream desynchronised or not a wire peer)"
+  | Oversized n -> Printf.sprintf "frame length %d exceeds the frame bound" n
+  | Truncated -> "stream ended mid-frame"
+  | Decode_failure -> "frame payload is not a marshalled value"
+
+exception Wire_error of error
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write fd v =
+  let payload = Marshal.to_string v [] in
+  let n = String.length payload in
+  let frame = Bytes.create (header_len + n) in
+  Bytes.blit_string magic 0 frame 0 4;
+  Bytes.set_int32_be frame 4 (Int32.of_int n);
+  Bytes.blit_string payload 0 frame header_len n;
+  write_all fd frame 0 (header_len + n)
+
+(* Read exactly [len] bytes; [`Eof n] reports how many arrived first. *)
+let read_exact fd buf len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof off
+  in
+  go 0
+
+let read ?(max_frame = default_max_frame) fd =
+  let hdr = Bytes.create header_len in
+  match read_exact fd hdr header_len with
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error Truncated
+  | `Ok ->
+    if Bytes.sub_string hdr 0 4 <> magic then Error Bad_magic
+    else
+      let len = Int32.to_int (Bytes.get_int32_be hdr 4) in
+      if len < 0 || len > max_frame then Error (Oversized len)
+      else
+        let payload = Bytes.create len in
+        (match read_exact fd payload len with
+        | `Eof _ -> Error Truncated
+        | `Ok -> (
+          (* Marshal's own header check catches garbage; any other
+             deserialisation explosion must degrade to a structured
+             error, never an abort of the supervisor. *)
+          try Ok (Marshal.from_bytes payload 0) with _ -> Error Decode_failure))
+
+let read_exn ?max_frame fd =
+  match read ?max_frame fd with Ok v -> v | Error e -> raise (Wire_error e)

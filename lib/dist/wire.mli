@@ -1,0 +1,40 @@
+(** Framing for the socket backend: length-prefixed marshalled values.
+
+    One frame is ["MDW1"], a big-endian u32 payload length, then the
+    [Marshal] image of the value.  Both halves of the subsystem speak
+    it — the per-link value channels of {!Mesh_sock} and the
+    supervisor's control/report channels in {!Runner} — so a stream
+    that desynchronises, truncates, or carries garbage always
+    surfaces as a structured {!error}, never as a hang or a wild
+    allocation (the framing fuzz tests pin this down). *)
+
+val magic : string
+val header_len : int
+
+val default_max_frame : int
+(** Payload-length bound enforced by {!read} (64 MiB). *)
+
+type error =
+  | Closed  (** clean EOF on a frame boundary *)
+  | Bad_magic  (** first 4 bytes are not {!magic} *)
+  | Oversized of int  (** declared length negative or over the bound *)
+  | Truncated  (** EOF inside a frame *)
+  | Decode_failure  (** payload is not a marshalled value *)
+
+val error_to_string : error -> string
+
+exception Wire_error of error
+
+val write : Unix.file_descr -> 'a -> unit
+(** Marshal [v] and write one complete frame (handles short writes).
+    The value must not contain functions or custom blocks that
+    [Marshal] rejects.
+    @raise Unix.Unix_error when the fd is closed/broken. *)
+
+val read : ?max_frame:int -> Unix.file_descr -> ('a, error) result
+(** Read one complete frame.  Unsafe cast on success — reader and
+    writer must agree on the type, which the runner's fixed
+    per-channel protocols guarantee. *)
+
+val read_exn : ?max_frame:int -> Unix.file_descr -> 'a
+(** {!read}, raising {!Wire_error}. *)

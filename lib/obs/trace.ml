@@ -52,6 +52,9 @@ let make_buffer () =
 let key : buffer Domain.DLS.key = Domain.DLS.new_key make_buffer
 let buffer () = Domain.DLS.get key
 
+(* Streaming sink (forward declaration: [push] may trigger a flush). *)
+let sink_flush_hook : (buffer -> unit) ref = ref (fun _ -> ())
+
 let push buf ev =
   Mutex.lock buf.mutex;
   if buf.len >= max_events_per_buffer then buf.lost <- buf.lost + 1
@@ -65,7 +68,8 @@ let push buf ev =
     buf.events.(buf.len) <- ev;
     buf.len <- buf.len + 1
   end;
-  Mutex.unlock buf.mutex
+  Mutex.unlock buf.mutex;
+  !sink_flush_hook buf
 
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
@@ -162,19 +166,85 @@ let add_args b pairs =
     pairs;
   Buffer.add_char b '}'
 
-let export ?(process_name = "mimdloop") () =
+let render_event b ~base tid ev =
+  match ev with
+  | Thread_name { name } ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d," tid);
+    add_args b [ ("name", name) ];
+    Buffer.add_char b '}'
+  | Instant { name; ts_ns; args } ->
+    Buffer.add_char b '{';
+    add_string_field b "name" name;
+    Buffer.add_string b
+      (Printf.sprintf ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+         (Clock.ns_to_us (ts_ns - base))
+         tid);
+    add_args b args;
+    Buffer.add_char b '}'
+  | Complete { name; cat; ts_ns; dur_ns; id; parent; args } ->
+    Buffer.add_char b '{';
+    add_string_field b "name" name;
+    if cat <> "" then begin
+      Buffer.add_char b ',';
+      add_string_field b "cat" cat
+    end;
+    Buffer.add_string b
+      (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+         (Clock.ns_to_us (ts_ns - base))
+         (Clock.ns_to_us dur_ns) tid);
+    add_args b
+      ((("span_id", string_of_int id) :: ("parent_id", string_of_int parent) :: args));
+    Buffer.add_char b '}'
+
+(* ---------------------------------------------------------------- *)
+(* Cross-process capture: a forked child traces into its own buffers
+   (copies of the parent's DLS state), captures them as plain data,
+   ships them over its report channel, and the parent absorbs them so
+   the export shows one merged timeline.  Absorbed events keep their
+   own (offset) tids — monotonic clocks are per-boot, so parent and
+   child stamps share a timebase.                                     *)
+
+type captured = (int * event) list
+
+let absorbed : (int * event) list ref = ref []
+
+let drain_buffers () =
   Mutex.lock registry_mutex;
   let bufs = !registry in
   Mutex.unlock registry_mutex;
-  let collected =
-    List.concat_map
-      (fun buf ->
-        Mutex.lock buf.mutex;
-        let evs = List.init buf.len (fun i -> (buf.tid, buf.events.(i))) in
-        Mutex.unlock buf.mutex;
-        evs)
-      bufs
-  in
+  List.concat_map
+    (fun buf ->
+      Mutex.lock buf.mutex;
+      let evs = List.init buf.len (fun i -> (buf.tid, buf.events.(i))) in
+      Mutex.unlock buf.mutex;
+      evs)
+    bufs
+
+let capture () = drain_buffers ()
+
+let absorb ?(tid_offset = 0) captured =
+  Mutex.lock registry_mutex;
+  absorbed :=
+    List.rev_append (List.rev_map (fun (tid, ev) -> (tid + tid_offset, ev)) captured)
+      !absorbed;
+  Mutex.unlock registry_mutex
+
+(* [clear] above predates absorption; a full reset drops those too. *)
+let clear () =
+  clear ();
+  Mutex.lock registry_mutex;
+  absorbed := [];
+  Mutex.unlock registry_mutex
+
+let collect_all () =
+  Mutex.lock registry_mutex;
+  let extra = !absorbed in
+  Mutex.unlock registry_mutex;
+  drain_buffers () @ extra
+
+let export ?(process_name = "mimdloop") () =
+  let collected = collect_all () in
   let ts_of = function
     | Complete { ts_ns; _ } | Instant { ts_ns; _ } -> ts_ns
     | Thread_name _ -> 0
@@ -204,35 +274,107 @@ let export ?(process_name = "mimdloop") () =
   List.iter
     (fun (tid, ev) ->
       Buffer.add_char b ',';
-      match ev with
-      | Thread_name { name } ->
-        Buffer.add_string b
-          (Printf.sprintf "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d," tid);
-        add_args b [ ("name", name) ];
-        Buffer.add_char b '}'
-      | Instant { name; ts_ns; args } ->
-        Buffer.add_char b '{';
-        add_string_field b "name" name;
-        Buffer.add_string b
-          (Printf.sprintf ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
-             (Clock.ns_to_us (ts_ns - base))
-             tid);
-        add_args b args;
-        Buffer.add_char b '}'
-      | Complete { name; cat; ts_ns; dur_ns; id; parent; args } ->
-        Buffer.add_char b '{';
-        add_string_field b "name" name;
-        if cat <> "" then begin
-          Buffer.add_char b ',';
-          add_string_field b "cat" cat
-        end;
-        Buffer.add_string b
-          (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
-             (Clock.ns_to_us (ts_ns - base))
-             (Clock.ns_to_us dur_ns) tid);
-        add_args b
-          ((("span_id", string_of_int id) :: ("parent_id", string_of_int parent) :: args));
-        Buffer.add_char b '}')
+      render_event b ~base tid ev)
     ordered;
   Buffer.add_string b "]}";
   Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* Streaming sink: append-on-flush file output for long-running
+   servers, where waiting for a clean exit (and one big [export])
+   loses the whole capture on a kill.  The file is the same Chrome
+   object, written incrementally; the trace_event "JSON Array Format"
+   explicitly tolerates a missing closing bracket, so a file cut off
+   by SIGKILL still loads.                                            *)
+
+type sink = {
+  path : string;
+  oc : out_channel;
+  threshold : int;
+  base : int;  (* rebase stamp fixed at [set_sink] so batches agree *)
+  sink_mutex : Mutex.t;
+  mutable flushed : int;
+}
+
+let sink_state : sink option ref = ref None
+
+let flush_sink () =
+  match !sink_state with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.sink_mutex;
+    let still_open = match !sink_state with Some s' -> s' == s | None -> false in
+    if not still_open then Mutex.unlock s.sink_mutex (* closed underneath us *)
+    else begin
+    (* Drain destructively: flushed events leave the buffers, so the
+       sink and [export] are alternatives, not duplicates. *)
+    Mutex.lock registry_mutex;
+    let bufs = !registry in
+    let extra = !absorbed in
+    absorbed := [];
+    Mutex.unlock registry_mutex;
+    let batch =
+      List.concat_map
+        (fun buf ->
+          Mutex.lock buf.mutex;
+          let evs = List.init buf.len (fun i -> (buf.tid, buf.events.(i))) in
+          buf.len <- 0;
+          Mutex.unlock buf.mutex;
+          evs)
+        bufs
+      @ extra
+    in
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (tid, ev) ->
+        Buffer.add_string b ",\n";
+        render_event b ~base:s.base tid ev;
+        s.flushed <- s.flushed + 1)
+      batch;
+    Buffer.output_buffer s.oc b;
+    flush s.oc;
+    Mutex.unlock s.sink_mutex
+    end
+
+let () =
+  sink_flush_hook :=
+    fun buf ->
+      match !sink_state with
+      | None -> ()
+      | Some s -> if buf.len >= s.threshold then flush_sink ()
+
+let set_sink ?(threshold = 4096) path =
+  (match !sink_state with Some _ -> invalid_arg "Trace.set_sink: sink already open" | None -> ());
+  let oc = open_out path in
+  let s =
+    {
+      path;
+      oc;
+      threshold = max 1 threshold;
+      base = Clock.now_ns ();
+      sink_mutex = Mutex.create ();
+      flushed = 0;
+    }
+  in
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  output_string oc "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,";
+  let b = Buffer.create 64 in
+  add_args b [ ("name", "mimdloop") ];
+  Buffer.output_buffer oc b;
+  output_string oc "}";
+  flush oc;
+  sink_state := Some s
+
+let sink_path () = Option.map (fun s -> s.path) !sink_state
+let sink_flushed () = match !sink_state with None -> 0 | Some s -> s.flushed
+
+let close_sink () =
+  match !sink_state with
+  | None -> ()
+  | Some s ->
+    flush_sink ();
+    Mutex.lock s.sink_mutex;
+    sink_state := None;
+    output_string s.oc "]}\n";
+    close_out s.oc;
+    Mutex.unlock s.sink_mutex

@@ -70,4 +70,56 @@ val export : ?process_name:string -> unit -> string
     microseconds rebased to the earliest event; every complete event
     carries [ph]/[ts]/[dur]/[pid]/[tid]/[name] plus [args] with the
     span and parent ids.  Thread-name metadata events label the
-    tracks.  Intended to be called once workers are quiescent. *)
+    tracks.  Intended to be called once workers are quiescent.
+    Includes {!absorb}ed events; excludes anything already drained to
+    a streaming sink. *)
+
+(** {1 Cross-process capture}
+
+    A forked child (the [Mimd_dist] socket runtime) traces into its
+    own buffers; {!capture} snapshots them as marshalable plain data
+    so the child can ship them over its report channel, and the parent
+    {!absorb}s them into its own capture before {!export}.  Monotonic
+    stamps are per-boot, so parent and child events share a timebase
+    without rebasing. *)
+
+type captured
+(** A snapshot of every buffered event in this process.  Plain data:
+    safe to [Marshal] across a process boundary. *)
+
+val capture : unit -> captured
+
+val absorb : ?tid_offset:int -> captured -> unit
+(** Merge a child's capture into this process's export.  [tid_offset]
+    shifts the child's track ids so its PEs land on distinct tracks
+    (span ids are process-local and may collide across processes; the
+    tracks keep the timelines apart). *)
+
+(** {1 Streaming sink}
+
+    Long-running replicas (serve workers, the router) buffer spans
+    until exit, so a kill loses the whole capture.  A sink streams the
+    same Chrome object to a file incrementally: events are appended —
+    and {e removed from the buffers} — on every {!flush_sink}, which
+    also fires automatically whenever any domain's buffer reaches the
+    size threshold.  The trace_event JSON Array Format tolerates a
+    missing closing bracket, so a file cut off mid-run still loads in
+    Perfetto.  One sink per process; {!export} only sees what has not
+    yet been flushed. *)
+
+val set_sink : ?threshold:int -> string -> unit
+(** Open [path] (truncating) and write the stream header.  From then
+    on any buffer reaching [threshold] events (default 4096) triggers
+    a flush of {e all} buffers.
+    @raise Invalid_argument if a sink is already open. *)
+
+val flush_sink : unit -> unit
+(** Append all buffered events to the sink now (no-op without one). *)
+
+val close_sink : unit -> unit
+(** Final flush, closing bracket, close the file (no-op without one). *)
+
+val sink_path : unit -> string option
+
+val sink_flushed : unit -> int
+(** Events written to the sink since {!set_sink}. *)

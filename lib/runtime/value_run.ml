@@ -14,101 +14,107 @@ type outcome = {
   makespan_ns : float;
 }
 
+type chans = {
+  send : dst:int -> tag:int * int -> float -> unit;
+  recv : src:int -> tag:int * int -> float;
+}
+
 let default_channel_capacity = 256
 
-let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
-    ?(channel_capacity = default_channel_capacity) ~loop ~program () =
-  if not (Ast.is_flat loop) then invalid_arg "Value_run.run: loop must be flat";
+let check_pair ~loop ~program =
+  if not (Ast.is_flat loop) then invalid_arg "Value_run: loop must be flat";
   let stmts = Array.of_list (Ast.assignments loop) in
-  let graph = program.Program.graph in
-  if Array.length stmts <> Graph.node_count graph then
-    invalid_arg "Value_run.run: statement/node count mismatch";
-  let resolve = Value_exec.resolver stmts in
-  let mesh = Mesh.create ~procs:program.Program.processors ~capacity:channel_capacity in
-  let t0 = Unix.gettimeofday () in
-  let worker ~proc:j ~tick =
-    (* Shared-nothing by discipline: everything below is this domain's
-       private state; values cross domains only through the mesh. *)
-    let local : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
-    let stash = Mesh.stash mesh in
-    let computed = ref [] in
-    let sent = ref 0 in
-    (* Hoisted so the untraced path keeps its straight-line loop: per-op
-       spans (and their args) are only built when a capture is live. *)
-    let traced = Trace.is_enabled () in
-    if traced then Trace.set_thread_name (Printf.sprintf "PE%d" j);
-    let exec instr =
-      match instr with
-      | Program.Compute { node; iter } ->
-          let _, _, rhs = stmts.(node) in
-          let read array offset =
-            match resolve node array offset with
-            | Some (s', delta) when iter - delta >= 0 -> begin
-              match Hashtbl.find_opt local (s', iter - delta) with
-              | Some v -> v
-              | None ->
-                (* A missing operand is a codegen bug; reading initial
-                   memory here would mask it, so fail loudly. *)
-                invalid_arg
-                  (Printf.sprintf
-                     "Value_run: PE%d computing (%d,%d) lacks operand (%d,%d) for %s" j
-                     node iter s' (iter - delta) array)
-            end
-            | Some _ | None -> init array (Interp.cell_index array ~iter ~offset)
-          in
-          let v = Interp.eval_expr_with ~read ~scalars rhs in
-          Hashtbl.replace local (node, iter) v;
-          computed := ((node, iter), v) :: !computed
-        | Program.Send { tag; dst } ->
-          let key = (tag.Program.node, tag.Program.iter) in
-          let v =
-            match Hashtbl.find_opt local key with
+  if Array.length stmts <> Graph.node_count program.Program.graph then
+    invalid_arg "Value_run: statement/node count mismatch";
+  stmts
+
+(* The per-processor instruction loop, parameterised over the channel
+   backend: [run] plugs in the in-process {!Mesh}, [Mimd_dist] plugs in
+   a socket mesh, and the instruction semantics stay byte-identical. *)
+let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () =
+  (* Shared-nothing by discipline: everything below is this worker's
+     private state; values cross processors only through [chans]. *)
+  let local : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let computed = ref [] in
+  let sent = ref 0 in
+  (* Hoisted so the untraced path keeps its straight-line loop: per-op
+     spans (and their args) are only built when a capture is live. *)
+  let traced = Trace.is_enabled () in
+  if traced then Trace.set_thread_name (Printf.sprintf "PE%d" j);
+  let exec instr =
+    match instr with
+    | Program.Compute { node; iter } ->
+        let _, _, rhs = stmts.(node) in
+        let read array offset =
+          match resolve node array offset with
+          | Some (s', delta) when iter - delta >= 0 -> begin
+            match Hashtbl.find_opt local (s', iter - delta) with
             | Some v -> v
-            | None -> invalid_arg "Value_run: send before compute (malformed program)"
-          in
-          Mesh.send mesh ~src:j ~dst ~tag:key v;
-          incr sent
-      | Program.Recv { tag; src } ->
+            | None ->
+              (* A missing operand is a codegen bug; reading initial
+                 memory here would mask it, so fail loudly. *)
+              invalid_arg
+                (Printf.sprintf
+                   "Value_run: PE%d computing (%d,%d) lacks operand (%d,%d) for %s" j
+                   node iter s' (iter - delta) array)
+          end
+          | Some _ | None -> init array (Interp.cell_index array ~iter ~offset)
+        in
+        let v = Interp.eval_expr_with ~read ~scalars rhs in
+        Hashtbl.replace local (node, iter) v;
+        computed := ((node, iter), v) :: !computed
+      | Program.Send { tag; dst } ->
         let key = (tag.Program.node, tag.Program.iter) in
-        let v = Mesh.recv_tag mesh stash ~src ~dst:j ~tag:key in
-        Hashtbl.replace local key v
-    in
-    List.iter
-      (fun instr ->
-        (if traced then begin
-           let name, args =
-             match instr with
-             | Program.Compute { node; iter } ->
-               ( "run.compute",
-                 [ ("node", string_of_int node); ("iter", string_of_int iter) ] )
-             | Program.Send { tag; dst } ->
-               ( "run.send",
-                 [
-                   ("node", string_of_int tag.Program.node);
-                   ("iter", string_of_int tag.Program.iter);
-                   ("dst", string_of_int dst);
-                 ] )
-             | Program.Recv { tag; src } ->
-               ( "run.recv",
-                 [
-                   ("node", string_of_int tag.Program.node);
-                   ("iter", string_of_int tag.Program.iter);
-                   ("src", string_of_int src);
-                 ] )
-           in
-           Trace.span ~cat:"run" ~args name (fun () -> exec instr)
-         end
-         else exec instr);
-        tick ())
-      program.Program.programs.(j);
-    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-    (!computed, !sent, wall_ns)
+        let v =
+          match Hashtbl.find_opt local key with
+          | Some v -> v
+          | None -> invalid_arg "Value_run: send before compute (malformed program)"
+        in
+        chans.send ~dst ~tag:key v;
+        incr sent
+    | Program.Recv { tag; src } ->
+      let key = (tag.Program.node, tag.Program.iter) in
+      let v = chans.recv ~src ~tag:key in
+      Hashtbl.replace local key v
   in
-  let results =
-    Domains.run ?watchdog ~graph ~programs:program.Program.programs
-      ~cancel_all:(fun () -> Mesh.cancel_all mesh)
-      ~worker ()
-  in
+  List.iter
+    (fun instr ->
+      (if traced then begin
+         let name, args =
+           match instr with
+           | Program.Compute { node; iter } ->
+             ( "run.compute",
+               [ ("node", string_of_int node); ("iter", string_of_int iter) ] )
+           | Program.Send { tag; dst } ->
+             ( "run.send",
+               [
+                 ("node", string_of_int tag.Program.node);
+                 ("iter", string_of_int tag.Program.iter);
+                 ("dst", string_of_int dst);
+               ] )
+           | Program.Recv { tag; src } ->
+             ( "run.recv",
+               [
+                 ("node", string_of_int tag.Program.node);
+                 ("iter", string_of_int tag.Program.iter);
+                 ("src", string_of_int src);
+               ] )
+         in
+         Trace.span ~cat:"run" ~args name (fun () -> exec instr)
+       end
+       else exec instr);
+      tick ())
+    program.Program.programs.(j);
+  (!computed, !sent)
+
+let worker ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(tick = ignore)
+    ~loop ~program ~proc ~chans () =
+  let stmts = check_pair ~loop ~program in
+  let resolve = Value_exec.resolver stmts in
+  worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc ~chans ()
+
+let finalize ~loop ~program ~results =
+  let stmts = check_pair ~loop ~program in
   let values : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
   let messages = ref 0 in
   Array.iter
@@ -148,6 +154,34 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
     domain_wall_ns;
     makespan_ns = Array.fold_left max 0.0 domain_wall_ns;
   }
+
+let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
+    ?(channel_capacity = default_channel_capacity) ~loop ~program () =
+  let stmts = check_pair ~loop ~program in
+  let graph = program.Program.graph in
+  let resolve = Value_exec.resolver stmts in
+  let mesh = Mesh.create ~procs:program.Program.processors ~capacity:channel_capacity in
+  let t0 = Unix.gettimeofday () in
+  let worker ~proc:j ~tick =
+    let stash = Mesh.stash mesh in
+    let chans =
+      {
+        send = (fun ~dst ~tag v -> Mesh.send mesh ~src:j ~dst ~tag v);
+        recv = (fun ~src ~tag -> Mesh.recv_tag mesh stash ~src ~dst:j ~tag);
+      }
+    in
+    let computed, sent =
+      worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans ()
+    in
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (computed, sent, wall_ns)
+  in
+  let results =
+    Domains.run ?watchdog ~graph ~programs:program.Program.programs
+      ~cancel_all:(fun () -> Mesh.cancel_all mesh)
+      ~worker ()
+  in
+  finalize ~loop ~program ~results
 
 let check_against_sequential ?init ?scalars ~loop ~iterations outcome =
   Value_exec.check_final ?init ?scalars ~loop ~iterations ~final:outcome.final ()

@@ -36,8 +36,54 @@ type outcome = {
 val default_channel_capacity : int
 (** Per-channel message bound used by {!run} when [?channel_capacity]
     is omitted.  Exposed so independent auditors (notably
-    {!Mimd_check.Validate.program}'s token simulation) model the same
+    {!Mimd_check.Validate.program}'s token simulation) and alternative
+    channel backends (the socket mesh in [Mimd_dist]) model the same
     bound the real mesh enforces. *)
+
+(** {1 Channel-agnostic execution}
+
+    The instruction semantics above do not depend on {e how} a value
+    crosses processors.  [worker] runs one processor's instruction
+    stream against any channel backend; [finalize] folds the
+    per-processor results into an {!outcome}.  {!run} is exactly
+    [worker] over the in-process {!Mesh} plus [finalize]; [Mimd_dist]
+    is the same [worker] over forked processes and Unix-domain
+    sockets. *)
+
+type chans = {
+  send : dst:int -> tag:int * int -> float -> unit;
+      (** Ship the value for instance [tag] to processor [dst]; must
+          block when the link is at capacity. *)
+  recv : src:int -> tag:int * int -> float;
+      (** Block until the value for instance [tag] arrives from [src];
+          must stash out-of-order arrivals (same discipline as
+          {!Mesh.recv_tag}). *)
+}
+(** What a channel backend provides to one worker. *)
+
+val worker :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  ?tick:(unit -> unit) ->
+  loop:Mimd_loop_ir.Ast.loop ->
+  program:Mimd_codegen.Program.t ->
+  proc:int ->
+  chans:chans ->
+  unit ->
+  ((int * int) * float) list * int
+(** Execute processor [proc]'s stream of [program] over [chans];
+    returns (computed instance values, messages sent).  [tick] is
+    called after every instruction (watchdog progress hook).
+    @raise Invalid_argument as {!run} does on malformed pairs. *)
+
+val finalize :
+  loop:Mimd_loop_ir.Ast.loop ->
+  program:Mimd_codegen.Program.t ->
+  results:(((int * int) * float) list * int * float) array ->
+  outcome
+(** Fold per-processor [(computed, sent, wall_ns)] triples — one per
+    processor, in processor order — into an {!outcome} using the same
+    last-writer merge as {!run}. *)
 
 val run :
   ?init:(string -> int -> float) ->

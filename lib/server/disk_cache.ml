@@ -91,21 +91,33 @@ let find t ~key =
       | None -> t.misses <- t.misses + 1);
   loaded
 
+(* Temp names must be unique per {e writer}, not just per key: the
+   serve fleet runs many worker processes (distinct pids) over one
+   shared cache directory, and each worker runs many pool domains (the
+   same pid) — two writers racing on one temp name can interleave
+   writes and rename a torn file into place.  pid + a process-local
+   counter makes every store's temp name its own. *)
+let tmp_seq = Atomic.make 0
+
 let store t ~key full =
   let path = path_of t ~key in
+  let tmp =
+    Filename.concat (Filename.dirname path)
+      (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_seq 1)
+         (Filename.basename path))
+  in
   let ok =
     try
       mkdir_p (Filename.dirname path);
       (* Write-then-rename keeps concurrent readers (and crashed
          writers) from ever observing a torn entry. *)
-      let tmp =
-        Filename.concat (Filename.dirname path)
-          (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) (Filename.basename path))
-      in
       Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (encode full));
       Sys.rename tmp path;
       true
-    with Sys_error _ | Unix.Unix_error _ -> false
+    with Sys_error _ | Unix.Unix_error _ ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      false
   in
   with_lock t (fun () ->
       if ok then t.stores <- t.stores + 1 else t.store_errors <- t.store_errors + 1)

@@ -4,6 +4,7 @@ type error_kind =
   | Schedule
   | Validation
   | Deadline
+  | Overload
   | Internal
 
 let error_kind_name = function
@@ -12,6 +13,7 @@ let error_kind_name = function
   | Schedule -> "schedule"
   | Validation -> "validation"
   | Deadline -> "deadline"
+  | Overload -> "overload"
   | Internal -> "internal"
 
 type compile_params = {

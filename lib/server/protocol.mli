@@ -40,6 +40,9 @@ type error_kind =
   | Schedule  (** the scheduler itself failed (e.g. pattern search exhausted) *)
   | Validation  (** the independent checker rejected the fresh schedule *)
   | Deadline  (** the request's [deadline_ms] elapsed *)
+  | Overload
+      (** shed by admission control: the router's in-flight bound is
+          full (retry later; the request was never dispatched) *)
   | Internal  (** unexpected exception; the message names it *)
 
 val error_kind_name : error_kind -> string

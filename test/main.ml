@@ -1,6 +1,10 @@
 let () =
   Alcotest.run "mimdloop"
     [
+      (* dist MUST stay first: its tests fork, and OCaml 5 forbids
+         Unix.fork in a process that has ever created a domain — so it
+         runs before any suite that spawns one. *)
+      ("dist", Test_dist.suite);
       ("util", Test_util.suite);
       ("ddg", Test_ddg.suite);
       ("machine", Test_machine.suite);

@@ -1,0 +1,631 @@
+(* lib/dist: the multi-process socket backend and the serve fleet.
+
+   THIS SUITE MUST RUN FIRST.  OCaml 5 refuses Unix.fork in a process
+   that has ever created a domain, and every test here forks — mesh
+   ping-pongs, the runner differentials, the link probe, the router
+   fleet.  Keep it ahead of any suite that touches Domain.spawn
+   (runtime, server, obs, ...) in test/main.ml. *)
+
+open Helpers
+module Ast = Mimd_loop_ir.Ast
+module Parser = Mimd_loop_ir.Parser
+module Depend = Mimd_loop_ir.Depend
+module Value_run = Mimd_runtime.Value_run
+module Value_exec = Mimd_sim.Value_exec
+module Links = Mimd_sim.Links
+module Json = Mimd_server.Json
+module Wire = Mimd_dist.Wire
+module Mesh_sock = Mimd_dist.Mesh_sock
+module Runner = Mimd_dist.Runner
+module Ring = Mimd_dist.Ring
+module Linkprobe = Mimd_dist.Linkprobe
+module Router = Mimd_dist.Router
+module Trace = Mimd_obs.Trace
+
+(* Deterministic seed for the framing fuzz (QCHECK_SEED also pins the
+   qcheck properties; this one is for the hand-rolled byte fuzz). *)
+let fuzz_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 0x5eed
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ---------------------------------------------------------------- *)
+(* Wire framing                                                       *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_wire_roundtrip () =
+  with_socketpair @@ fun a b ->
+  (* the shapes the subsystem actually ships: tagged floats on the
+     mesh links, report-sized values on the control channels *)
+  let tagged = ((3, 7), 2.5) in
+  let batch = List.init 200 (fun i -> ((i, i + 1), float_of_int i /. 3.0)) in
+  let blob = String.make 100_000 'x' in
+  Wire.write a tagged;
+  Wire.write a batch;
+  Wire.write a blob;
+  check_bool "tagged float" true (Wire.read b = Ok tagged);
+  check_bool "tagged list" true (Wire.read b = Ok batch);
+  check_bool "large string" true (Wire.read b = Ok blob);
+  (* clean EOF on a frame boundary *)
+  Unix.close a;
+  check_bool "clean close -> Closed" true
+    ((Wire.read b : (unit, Wire.error) result) = Error Wire.Closed)
+
+let test_wire_bad_magic () =
+  with_socketpair @@ fun a b ->
+  let junk = Bytes.of_string "JUNKJUNKJUNK" in
+  ignore (Unix.write a junk 0 (Bytes.length junk));
+  check_bool "garbage -> Bad_magic" true (Wire.read b = Error Wire.Bad_magic)
+
+let test_wire_oversized () =
+  with_socketpair @@ fun a b ->
+  (* A valid magic with an absurd declared length must be rejected
+     before any allocation of that size. *)
+  let h = Bytes.create 8 in
+  Bytes.blit_string Wire.magic 0 h 0 4;
+  Bytes.set h 4 '\x7f';
+  Bytes.set h 5 '\xff';
+  Bytes.set h 6 '\xff';
+  Bytes.set h 7 '\xff';
+  ignore (Unix.write a h 0 8);
+  match Wire.read b with
+  | Error (Wire.Oversized _) -> ()
+  | other ->
+    Alcotest.failf "expected Oversized, got %s"
+      (match other with
+      | Ok _ -> "a value"
+      | Error e -> Wire.error_to_string e)
+
+let test_wire_truncated () =
+  with_socketpair @@ fun a b ->
+  (* Cut a legitimate frame mid-payload: EOF inside a frame is
+     Truncated, never a hang. *)
+  let payload = Marshal.to_string (String.make 256 'y') [] in
+  let h = Bytes.create 8 in
+  Bytes.blit_string Wire.magic 0 h 0 4;
+  let n = String.length payload in
+  Bytes.set h 4 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set h 5 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set h 6 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set h 7 (Char.chr (n land 0xff));
+  ignore (Unix.write a h 0 8);
+  ignore (Unix.write a (Bytes.of_string payload) 0 (n / 2));
+  Unix.close a;
+  check_bool "mid-frame EOF -> Truncated" true (Wire.read b = Error Wire.Truncated)
+
+let test_wire_decode_failure () =
+  with_socketpair @@ fun a b ->
+  (* A well-framed payload that is not a marshalled value. *)
+  let body = String.make 32 '\x00' in
+  let h = Bytes.create 8 in
+  Bytes.blit_string Wire.magic 0 h 0 4;
+  Bytes.set h 4 '\x00';
+  Bytes.set h 5 '\x00';
+  Bytes.set h 6 '\x00';
+  Bytes.set h 7 (Char.chr (String.length body));
+  ignore (Unix.write a h 0 8);
+  ignore (Unix.write a (Bytes.of_string body) 0 (String.length body));
+  check_bool "garbage payload -> Decode_failure" true
+    (Wire.read b = Error Wire.Decode_failure)
+
+let test_wire_fuzz () =
+  (* Seeded byte-level fuzz: random garbage, truncated real frames and
+     bit-flipped real frames must always surface a structured error or
+     a (wrong but bounded) value — never a hang, never a crash.  The
+     reads can't block: the writer half is closed before reading. *)
+  let st = Random.State.make [| fuzz_seed |] in
+  for _ = 1 to 200 do
+    with_socketpair @@ fun a b ->
+    let mode = Random.State.int st 3 in
+    (match mode with
+    | 0 ->
+      (* pure noise *)
+      let len = Random.State.int st 64 in
+      let noise = Bytes.init len (fun _ -> Char.chr (Random.State.int st 256)) in
+      ignore (Unix.write a noise 0 len)
+    | 1 ->
+      (* a real frame cut at a random point *)
+      let v = List.init (1 + Random.State.int st 20) (fun i -> float_of_int i) in
+      let payload = Marshal.to_string v [] in
+      let n = String.length payload in
+      let h = Bytes.create 8 in
+      Bytes.blit_string Wire.magic 0 h 0 4;
+      Bytes.set h 4 (Char.chr ((n lsr 24) land 0xff));
+      Bytes.set h 5 (Char.chr ((n lsr 16) land 0xff));
+      Bytes.set h 6 (Char.chr ((n lsr 8) land 0xff));
+      Bytes.set h 7 (Char.chr (n land 0xff));
+      let frame = Bytes.cat h (Bytes.of_string payload) in
+      let cut = Random.State.int st (Bytes.length frame) in
+      ignore (Unix.write a frame 0 cut)
+    | _ ->
+      (* control: a complete valid frame still reads Ok *)
+      Wire.write a (List.init 8 (fun i -> ((i, i), float_of_int i))));
+    Unix.close a;
+    match Wire.read b with
+    | Ok _ | Error _ -> ()
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Consistent-hash ring                                               *)
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d" i)
+
+let test_ring_deterministic () =
+  let r1 = Ring.create 4 and r2 = Ring.create 4 in
+  List.iter
+    (fun key -> check_int ("shard " ^ key) (Ring.shard r1 ~key) (Ring.shard r2 ~key))
+    (keys 200);
+  check_int "workers" 4 (Ring.workers r1)
+
+let test_ring_balanced () =
+  let r = Ring.create 4 in
+  let counts = Array.make 4 0 in
+  List.iter (fun key -> counts.(Ring.shard r ~key) <- counts.(Ring.shard r ~key) + 1)
+    (keys 2000);
+  Array.iteri
+    (fun w c ->
+      check_bool (Printf.sprintf "worker %d owns >= 5%% (got %d/2000)" w c) true (c >= 100))
+    counts
+
+let test_ring_spill () =
+  let r = Ring.create 4 in
+  let all_alive _ = true in
+  (* healthy ring: lookup = shard *)
+  List.iter
+    (fun key ->
+      check_bool ("healthy " ^ key) true (Ring.lookup r ~key ~alive:all_alive = Some (Ring.shard r ~key)))
+    (keys 100);
+  (* kill worker 2: its keys spill to a live worker, everyone else's
+     keys stay put — the cache-affinity property *)
+  let alive w = w <> 2 in
+  List.iter
+    (fun key ->
+      let owner = Ring.shard r ~key in
+      match Ring.lookup r ~key ~alive with
+      | None -> Alcotest.failf "%s: no worker found with 3 live" key
+      | Some w ->
+        check_bool (key ^ " lands on a live worker") true (w <> 2);
+        if owner <> 2 then check_int (key ^ " did not move") owner w)
+    (keys 200);
+  (* all dead *)
+  check_bool "all dead -> None" true (Ring.lookup r ~key:"k" ~alive:(fun _ -> false) = None)
+
+(* ---------------------------------------------------------------- *)
+(* Mesh_sock: the channel discipline over a real fork                 *)
+
+let test_mesh_ping_pong () =
+  let mesh = Mesh_sock.create ~procs:2 () in
+  match Unix.fork () with
+  | 0 ->
+    (* child = PE1: echo each tagged value back doubled, tags shifted
+       so the parent exercises the (tag, src) stash keying. *)
+    let code =
+      try
+        Mesh_sock.retain_only mesh ~proc:1;
+        let ch = Mesh_sock.chans mesh ~proc:1 in
+        for i = 0 to 9 do
+          let v = ch.Value_run.recv ~src:0 ~tag:(0, i) in
+          ch.Value_run.send ~dst:0 ~tag:(1, i) (v *. 2.0)
+        done;
+        0
+      with _ -> 1
+    in
+    Unix._exit code
+  | pid ->
+    let ch = Mesh_sock.chans mesh ~proc:0 in
+    for i = 0 to 9 do
+      ch.Value_run.send ~dst:1 ~tag:(0, i) (float_of_int i)
+    done;
+    (* read replies out of order: the stash must hold the rest *)
+    let v9 = ch.Value_run.recv ~src:1 ~tag:(1, 9) in
+    let v0 = ch.Value_run.recv ~src:1 ~tag:(1, 0) in
+    check_bool "reply 9" true (v9 = 18.0);
+    check_bool "reply 0" true (v0 = 0.0);
+    for i = 1 to 8 do
+      let v = ch.Value_run.recv ~src:1 ~tag:(1, i) in
+      check_bool (Printf.sprintf "reply %d" i) true (v = float_of_int (2 * i))
+    done;
+    Mesh_sock.close_all mesh;
+    let _, status = Unix.waitpid [] pid in
+    check_bool "child exited clean" true (status = Unix.WEXITED 0)
+
+let test_mesh_dead_peer_is_structured () =
+  let mesh = Mesh_sock.create ~procs:2 () in
+  match Unix.fork () with
+  | 0 -> Unix._exit 0 (* child dies immediately without sending *)
+  | pid ->
+    (* the parent plays PE0, so it must drop PE1's endpoints just as
+       a real child does — otherwise its own copies keep the link
+       open and the death never surfaces as EOF *)
+    Mesh_sock.retain_only mesh ~proc:0;
+    ignore (Unix.waitpid [] pid);
+    let ch = Mesh_sock.chans mesh ~proc:0 in
+    (match ch.Value_run.recv ~src:1 ~tag:(0, 0) with
+    | _ -> Alcotest.fail "recv from a dead peer returned a value"
+    | exception Mesh_sock.Link_down { peer = 1; error = Wire.Closed; _ } -> ()
+    | exception Mesh_sock.Link_down _ -> ());
+    Mesh_sock.close_all mesh
+
+(* ---------------------------------------------------------------- *)
+(* Runner: forked processes = interpreter = simulator                 *)
+
+(* The full front end, with the token simulation on: install_hooks
+   makes [validate:true] run lib/check's token audit over the message
+   protocol, so every program the runner executes below has had its
+   socket-bound send/recv sequence proven against the schedule. *)
+let () = Mimd_check.Validate.install_hooks ()
+
+let compile ?(p = 2) ?(k = 2) ~iterations loop =
+  let flat = if Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop in
+  let graph = (Depend.analyze flat).Depend.graph in
+  let machine = machine ~p ~k () in
+  let schedule = Mimd_core.Cyclic_sched.schedule_iterations ~graph ~machine ~iterations () in
+  (flat, Mimd_codegen.From_schedule.run ~validate:true schedule)
+
+let dist_differential ~name ?(p = 2) ?(k = 2) ?(iterations = 12) loop =
+  let flat, program = compile ~p ~k ~iterations loop in
+  let outcome = Runner.run ~loop:flat ~program () in
+  (match Value_run.check_against_sequential ~loop:flat ~iterations outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: socket backend vs interp: %s" name e);
+  let sim = Value_exec.run ~loop:flat ~program ~links:(Links.fixed k) () in
+  if sim.Value_exec.instance_values <> outcome.Value_run.instance_values then
+    Alcotest.failf "%s: socket instance values differ from Value_exec" name;
+  if sim.Value_exec.final <> outcome.Value_run.final then
+    Alcotest.failf "%s: socket final memory differs from Value_exec" name;
+  check_bool (name ^ ": forked >= 1 process") true (outcome.Value_run.domains >= 1)
+
+let test_runner_paper_workloads () =
+  List.iter
+    (fun (name, src) -> dist_differential ~name (Parser.parse src))
+    [
+      ("fig1", Mimd_workloads.Fig1.source);
+      ("fig7", Mimd_workloads.Fig7.source);
+      ("elliptic", Mimd_workloads.Elliptic.source);
+    ]
+
+let test_runner_more_processors () =
+  dist_differential ~name:"ewf p=3" ~p:3 ~iterations:8
+    (Parser.parse Mimd_workloads.Elliptic.source)
+
+let test_runner_high_message_volume () =
+  (* Regression: seed 83 at >=100 iterations keeps hundreds of
+     messages in flight on one link.  Sizing SO_SNDBUF by wire bytes
+     instead of skb truesize made the socket bound tighter than the
+     domain mesh's 256-message channels and deadlocked both peers in
+     write(2); the buffer must hold [capacity] messages at the
+     kernel's per-send accounting. *)
+  let loop = Mimd_workloads.Random_loop.generate_loop ~seed:83 () in
+  dist_differential ~name:"seed 83 high volume" ~iterations:400 loop
+
+let test_runner_random_sweep () =
+  (* The in-process face of [run-dist --sweep]: seeded random loops,
+     socket backend vs the interpreter.  CI runs the 100-seed sweep
+     through the CLI; this keeps a fast slice in the unit suite. *)
+  for seed = 1 to 25 do
+    let loop = Mimd_workloads.Random_loop.generate_loop ~seed () in
+    dist_differential ~name:(Printf.sprintf "seed %d" seed) ~iterations:6 loop
+  done
+
+let no_children_left () =
+  (* The reap contract: after any runner return or failure there must
+     be no child processes at all. *)
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+  | _ -> false
+
+let test_runner_kill_child () =
+  (* A long enough run that the SIGKILL lands mid-execution.  Either
+     the parent notices PE 0's death first (Child_exit) or a peer's
+     Link_down report wins the race (Child_error) — both are the
+     structured contract; a hang or success is the bug. *)
+  let flat, program = compile ~iterations:3000 (Parser.parse Mimd_workloads.Fig7.source) in
+  let killed = ref false in
+  (match
+     Runner.run
+       ~sabotage:(fun pids ->
+         killed := true;
+         try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ())
+       ~loop:flat ~program ()
+   with
+  | _ -> Alcotest.fail "killed child but the run reported success"
+  | exception Runner.Dist_error (Runner.Child_exit { status; _ }) ->
+    check_bool "status names the kill" true (contains status "SIGKILL")
+  | exception Runner.Dist_error (Runner.Child_error _) -> ()
+  | exception Runner.Dist_error (Runner.Stalled _ as f) ->
+    Alcotest.failf "expected a child failure, got %s" (Runner.describe f));
+  check_bool "sabotage ran" true !killed;
+  check_bool "no orphan processes" true (no_children_left ())
+
+let test_runner_stall_detected () =
+  (* SIGSTOP one child: nobody crashes, nothing reports — the select
+     watchdog must call it a stall and still reap everyone. *)
+  let flat, program = compile ~iterations:3000 (Parser.parse Mimd_workloads.Fig7.source) in
+  (match
+     Runner.run ~timeout:0.4
+       ~sabotage:(fun pids ->
+         try Unix.kill pids.(0) Sys.sigstop with Unix.Unix_error _ -> ())
+       ~loop:flat ~program ()
+   with
+  | _ -> Alcotest.fail "stopped child but the run reported success"
+  | exception Runner.Dist_error (Runner.Stalled { waiting; _ }) ->
+    check_bool "PE 0 listed as waiting" true (List.mem 0 waiting)
+  | exception Runner.Dist_error f ->
+    Alcotest.failf "expected Stalled, got %s" (Runner.describe f));
+  check_bool "no orphan processes" true (no_children_left ())
+
+let test_runner_traces_absorbed () =
+  (* While tracing, children capture their own spans and the parent
+     absorbs them: the export must hold the parent's dist.spawn/join
+     and the children's run.compute on offset tracks. *)
+  Trace.clear ();
+  Trace.enable ();
+  let json =
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.disable ();
+        Trace.clear ())
+      (fun () ->
+        let flat, program = compile ~iterations:6 (Parser.parse Mimd_workloads.Fig7.source) in
+        ignore (Runner.run ~loop:flat ~program ());
+        Trace.export ())
+  in
+  List.iter
+    (fun needle -> check_bool (needle ^ " span present") true (contains json needle))
+    [ "dist.spawn"; "dist.join"; "run.compute" ]
+
+let test_linkprobe () =
+  let t = Linkprobe.probe ~rounds:20 ~procs:2 () in
+  check_bool "calibrated cycle > 0" true (t.Linkprobe.cycle_ns > 0.0);
+  check_int "one link for 2 procs" 1 (List.length t.Linkprobe.links);
+  let l = List.hd t.Linkprobe.links in
+  check_bool "rtt positive" true (l.Linkprobe.rtt_ns > 0.0);
+  check_bool "effective k >= 1" true (l.Linkprobe.effective_k >= 1.0);
+  check_bool "render mentions effective k" true
+    (contains (Linkprobe.render ~assumed_k:2 t) "effective k");
+  check_bool "no orphan processes" true (no_children_left ())
+
+(* ---------------------------------------------------------------- *)
+(* Router fleet: subprocess end-to-end                                *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "mimdloop.exe")
+
+let with_tmp_dir prefix f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect (fun () -> f dir)
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+
+let connect_with_retry path =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      go ()
+  in
+  go ()
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let client_connect path =
+  let fd = connect_with_retry path in
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let client_close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let rpc c line =
+  send_line c line;
+  Json.parse (input_line c.ic)
+
+let member_string name j = Option.bind (Json.member name j) Json.to_string_opt
+let member_bool name j = Option.bind (Json.member name j) Json.to_bool_opt
+
+(* error replies carry {"error":{"kind":...,"message":...}} *)
+let error_kind j = Option.bind (Json.member "error" j) (member_string "kind")
+
+let compile_req ~id ~stmt =
+  Printf.sprintf
+    {|{"id":%d,"op":"compile","loop":"for i = 1 to n { X[i] = X[i-1] + %s; }","iterations":40}|}
+    id stmt
+
+(* Start a router fleet as a real subprocess; hand the test a client
+   on its socket; shut the fleet down and reap afterwards whatever the
+   test did. *)
+let with_router ?(workers = 2) ?(extra = []) f =
+  with_tmp_dir "mimd-dist-route" @@ fun dir ->
+  let sock = Filename.concat dir "router.sock" in
+  let args =
+    [ exe; "route"; "--workers"; string_of_int workers; "--socket"; sock; "--no-disk-cache" ]
+    @ extra
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe (Array.of_list args) devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (* belt and braces: ask politely, then make sure *)
+      (try
+         let c = client_connect sock in
+         ignore (rpc c {|{"id":"bye","op":"shutdown"}|});
+         client_close c
+       with _ -> ());
+      let rec reap tries =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ when tries > 0 ->
+          Unix.sleepf 0.1;
+          reap (tries - 1)
+        | 0, _ ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      in
+      reap 50)
+    (fun () -> f sock)
+
+let stats c =
+  match Json.member "stats" (rpc c {|{"id":"s","op":"stats"}|}) with
+  | Some j -> j
+  | None -> Alcotest.fail "stats reply has no stats member"
+
+let worker_pids j =
+  match Json.member "workers" j with
+  | Some (Json.List ws) ->
+    List.filter_map
+      (fun w ->
+        match
+          (Option.bind (Json.member "pid" w) Json.to_int_opt, member_bool "alive" w)
+        with
+        | Some pid, Some alive -> Some (pid, alive)
+        | _ -> None)
+      ws
+  | _ -> []
+
+let test_router_e2e () =
+  with_router ~workers:2 @@ fun sock ->
+  let c = client_connect sock in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  check_bool "ping ok" true (member_bool "ok" (rpc c {|{"id":"p","op":"ping"}|}) = Some true);
+  (* the same loop twice: deterministic sharding sends both to the
+     same worker, the repeat hits its memory cache *)
+  let r1 = rpc c (compile_req ~id:1 ~stmt:"Y[i]") in
+  let r2 = rpc c (compile_req ~id:2 ~stmt:"Y[i]") in
+  check_bool "compile 1 ok" true (member_bool "ok" r1 = Some true);
+  check_bool "compile 2 ok" true (member_bool "ok" r2 = Some true);
+  check_bool "repeat served from cache" true
+    (member_string "tier" r2 = Some "memory" || member_string "tier" r2 = Some "disk");
+  let st = stats c in
+  check_bool "2 live workers" true
+    (Option.bind (Json.member "live" st) Json.to_int_opt = Some 2);
+  let pids = worker_pids st in
+  check_int "stats lists both workers" 2 (List.length pids);
+  (* metrics: the routing registry is exposed through the router *)
+  let m = rpc c {|{"id":"m","op":"metrics"}|} in
+  let text = Option.value ~default:"" (member_string "metrics" m) in
+  List.iter
+    (fun needle -> check_bool (needle ^ " exported") true (contains text needle))
+    [ "mimd_route_requests_total"; "mimd_route_shard_hits_total"; "mimd_route_inflight" ]
+
+let test_router_shard_key_deterministic () =
+  (* The digest the router shards by is a pure function of the compile
+     request's semantic fields — equal requests land on equal workers
+     across runs and processes. *)
+  let params line =
+    match Mimd_server.Protocol.request_of_line line with
+    | Ok (Mimd_server.Protocol.Compile { params; _ }) -> params
+    | _ -> Alcotest.fail "not a compile request"
+  in
+  let a = params {|{"id":1,"op":"compile","loop":"for i = 1 to n { X[i] = X[i-1]; }"}|} in
+  let b = params {|{"id":99,"op":"compile","loop":"for i = 1 to n { X[i] = X[i-1]; }"}|} in
+  check_string "id does not affect the shard" (Router.shard_key a) (Router.shard_key b);
+  let c' = params {|{"id":1,"op":"compile","loop":"for i = 1 to n { X[i] = Y[i-1]; }"}|} in
+  check_bool "different loop, different key" true (Router.shard_key a <> Router.shard_key c')
+
+let test_router_failover () =
+  with_router ~workers:2 @@ fun sock ->
+  let c = client_connect sock in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  let st = stats c in
+  let pids = worker_pids st in
+  check_int "two workers up" 2 (List.length pids);
+  (* murder one worker out from under the router *)
+  let victim, _ = List.hd pids in
+  Unix.kill victim Sys.sigkill;
+  Unix.sleepf 0.3;
+  (* every compile must still succeed: keys that belonged to the dead
+     worker spill to the survivor *)
+  List.iteri
+    (fun i stmt ->
+      let r = rpc c (compile_req ~id:(100 + i) ~stmt) in
+      check_bool (Printf.sprintf "compile %d ok after worker death" i) true
+        (member_bool "ok" r = Some true))
+    [ "Y[i]"; "Y[i] * 2"; "Y[i] + 3"; "Y[i] - 4" ];
+  let st = stats c in
+  check_bool "one live worker" true
+    (Option.bind (Json.member "live" st) Json.to_int_opt = Some 1);
+  check_bool "death counted" true
+    (Option.bind (Json.member "worker_deaths" st) Json.to_int_opt = Some 1)
+
+let test_router_admission_shed () =
+  (* One in-flight slot, one worker domain, and a burst of distinct
+     fat requests down a single connection: the router reads the burst
+     far faster than the worker compiles, so the admission bound must
+     shed some of it with the structured overload error — and the
+     accepted requests must all complete. *)
+  with_router ~workers:1 ~extra:[ "--max-inflight"; "1"; "--jobs"; "1" ] @@ fun sock ->
+  let c = client_connect sock in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  let burst = 12 in
+  for i = 0 to burst - 1 do
+    send_line c
+      (Printf.sprintf
+         {|{"id":%d,"op":"compile","loop":"for i = 1 to n { A[i] = A[i-1] + B[i]; B[i] = B[i-1] * %d; C[i] = A[i] + B[i]; D[i] = C[i-1] - A[i]; E[i] = D[i] + C[i]; }","iterations":300,"processors":3}|}
+         i (i + 2))
+  done;
+  let ok = ref 0 and shed = ref 0 in
+  for _ = 1 to burst do
+    let r = Json.parse (input_line c.ic) in
+    match (member_bool "ok" r, error_kind r) with
+    | Some true, _ -> incr ok
+    | _, Some "overload" -> incr shed
+    | _, Some other -> Alcotest.failf "unexpected error kind %s" other
+    | _ -> Alcotest.fail "reply with neither ok nor error"
+  done;
+  check_bool (Printf.sprintf "some requests shed (ok=%d shed=%d)" !ok !shed) true (!shed > 0);
+  check_bool "accepted requests all completed" true (!ok + !shed = burst);
+  check_bool "at least one accepted" true (!ok > 0)
+
+let suite =
+  [
+    Alcotest.test_case "wire: round-trip + clean close" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire: bad magic" `Quick test_wire_bad_magic;
+    Alcotest.test_case "wire: oversized length" `Quick test_wire_oversized;
+    Alcotest.test_case "wire: truncated frame" `Quick test_wire_truncated;
+    Alcotest.test_case "wire: undecodable payload" `Quick test_wire_decode_failure;
+    Alcotest.test_case "wire: framing fuzz" `Quick test_wire_fuzz;
+    Alcotest.test_case "ring: deterministic" `Quick test_ring_deterministic;
+    Alcotest.test_case "ring: balanced" `Quick test_ring_balanced;
+    Alcotest.test_case "ring: spill on death" `Quick test_ring_spill;
+    Alcotest.test_case "mesh: ping-pong over fork" `Quick test_mesh_ping_pong;
+    Alcotest.test_case "mesh: dead peer -> Link_down" `Quick test_mesh_dead_peer_is_structured;
+    Alcotest.test_case "runner: paper workloads differential" `Quick test_runner_paper_workloads;
+    Alcotest.test_case "runner: ewf at p=3" `Quick test_runner_more_processors;
+    Alcotest.test_case "runner: high message volume" `Quick
+      test_runner_high_message_volume;
+    Alcotest.test_case "runner: 25-seed random sweep" `Slow test_runner_random_sweep;
+    Alcotest.test_case "runner: killed child -> structured error" `Quick test_runner_kill_child;
+    Alcotest.test_case "runner: stalled child -> watchdog" `Quick test_runner_stall_detected;
+    Alcotest.test_case "runner: child traces absorbed" `Quick test_runner_traces_absorbed;
+    Alcotest.test_case "linkprobe: effective k measured" `Quick test_linkprobe;
+    Alcotest.test_case "router: end-to-end over 2 workers" `Quick test_router_e2e;
+    Alcotest.test_case "router: shard key deterministic" `Quick test_router_shard_key_deterministic;
+    Alcotest.test_case "router: failover on worker death" `Quick test_router_failover;
+    Alcotest.test_case "router: admission control sheds" `Quick test_router_admission_shed;
+  ]

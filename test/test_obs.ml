@@ -364,6 +364,77 @@ let test_service_metrics_text () =
     (contains ~needle:"mimd_serve_requests_total 0"
        (Mimd_server.Service.metrics_text other))
 
+(* ---------------------------------------------------------------- *)
+(* Streaming sink + cross-process capture                             *)
+
+let test_streaming_sink () =
+  let path = Filename.temp_file "mimd-sink" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
+  with_tracing @@ fun () ->
+  Trace.set_sink ~threshold:4 path;
+  Fun.protect ~finally:Trace.close_sink @@ fun () ->
+  check_bool "sink path exposed" true (Trace.sink_path () = Some path);
+  check_bool "double open rejected" true
+    (match Trace.set_sink path with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  for i = 1 to 20 do
+    Trace.span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check_bool "threshold flushed mid-run" true (Trace.sink_flushed () > 0);
+  (* mid-stream the file is the Chrome array format with the closing
+     bracket still pending — the viewer tolerates that as-is, and
+     appending the bracket must yield well-formed JSON *)
+  let mid = In_channel.with_open_text path In_channel.input_all in
+  (match Json.parse (mid ^ "]}") with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "repaired mid-stream file is not an object"
+  | exception Json.Parse_error e -> Alcotest.failf "mid-stream + ]} unparseable: %s" e);
+  Trace.span "tail-span" (fun () -> ());
+  Trace.close_sink ();
+  check_bool "sink closed" true (Trace.sink_path () = None);
+  let doc = In_channel.with_open_text path In_channel.input_all in
+  check_bool "final flush caught the tail" true (contains ~needle:"tail-span" doc);
+  (match Json.parse doc with
+  | doc' -> begin
+    match Json.member "traceEvents" doc' with
+    | Some (Json.List evs) ->
+      check_bool "all spans reached the file" true (List.length evs >= 21)
+    | _ -> Alcotest.fail "closed file has no traceEvents"
+  end
+  | exception Json.Parse_error e -> Alcotest.failf "closed file unparseable: %s" e);
+  (* flushed events left the buffers: sink and export are
+     alternatives, never duplicates *)
+  check_bool "export no longer holds drained events" false
+    (contains ~needle:"tail-span" (Trace.export ()))
+
+let test_capture_absorb () =
+  with_tracing @@ fun () ->
+  Trace.span "shipped" (fun () -> ());
+  let captured = Trace.capture () in
+  Trace.clear ();
+  (* what a parent does with a child's report *)
+  Trace.absorb ~tid_offset:2000 captured;
+  let evs = export_events () in
+  let shipped =
+    List.filter
+      (fun e ->
+        match Json.member "name" e with Some (Json.String "shipped") -> true | _ -> false)
+      evs
+  in
+  check_int "absorbed span exported once" 1 (List.length shipped);
+  List.iter
+    (fun e ->
+      match Option.bind (Json.member "tid" e) Json.to_int_opt with
+      | Some tid -> check_bool "tid offset applied" true (tid >= 2000)
+      | None -> Alcotest.fail "absorbed event has no tid")
+    shipped;
+  (* clear drops absorbed events too *)
+  Trace.absorb ~tid_offset:3000 captured;
+  Trace.clear ();
+  check_bool "clear drops absorbed" true
+    (not (contains ~needle:"shipped" (Trace.export ())))
+
 let suite =
   [
     Alcotest.test_case "clock: monotonic, unit conversions" `Quick test_clock_monotonic;
@@ -394,4 +465,6 @@ let suite =
       test_compile_emits_stage_spans;
     Alcotest.test_case "service: Prometheus text exposition" `Quick
       test_service_metrics_text;
+    Alcotest.test_case "trace: streaming sink flush + repair" `Quick test_streaming_sink;
+    Alcotest.test_case "trace: capture/absorb across processes" `Quick test_capture_absorb;
   ]

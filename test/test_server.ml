@@ -214,6 +214,51 @@ let test_disk_roundtrip_and_corruption () =
   check_int "hits" 2 st.Disk_cache.hits;
   check_int "misses" 4 st.Disk_cache.misses
 
+let test_disk_concurrent_writers () =
+  (* The router fleet points every worker process at one cache
+     directory, so same-key stores race both across domains and (via
+     the per-pid part of the temp name) across processes.  Hammer one
+     key from many domains: every store must land whole — a torn or
+     vanished entry is the bug the unique temp names prevent. *)
+  let dir = tmp_dir "mimd-disk-conc" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let d = Disk_cache.create ~dir in
+  let full = small_full () in
+  let key = String.make 32 'c' in
+  let writers =
+    List.init 6 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              Disk_cache.store d ~key full
+            done))
+  in
+  let readers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let torn = ref 0 in
+            for _ = 1 to 50 do
+              match Disk_cache.find d ~key with
+              | Some got when same_schedule full got -> ()
+              | Some _ -> incr torn
+              | None -> () (* a miss before the first store landed is fine *)
+            done;
+            !torn))
+  in
+  List.iter Domain.join writers;
+  let torn = List.fold_left (fun acc r -> acc + Domain.join r) 0 readers in
+  check_int "no torn reads" 0 torn;
+  (match Disk_cache.find d ~key with
+  | Some got -> check_bool "final entry whole" true (same_schedule full got)
+  | None -> Alcotest.fail "entry missing after concurrent stores");
+  check_int "no store errors" 0 (Disk_cache.stats d).Disk_cache.store_errors;
+  (* no temp droppings left behind *)
+  let shard = Filename.dirname (Disk_cache.path_of d ~key) in
+  let leftovers =
+    Array.to_list (Sys.readdir shard)
+    |> List.filter (fun f -> String.length f >= 4 && String.sub f 0 4 = ".tmp")
+  in
+  check_int "no temp files left" 0 (List.length leftovers)
+
 (* Property: the store round-trips arbitrary compiled schedules, and a
    single flipped byte anywhere in the file reads as "not cached",
    never as a wrong schedule and never as a crash. *)
@@ -657,6 +702,8 @@ let suite =
       test_cache_eviction_counter;
     Alcotest.test_case "server: disk cache roundtrip + corruption" `Quick
       test_disk_roundtrip_and_corruption;
+    Alcotest.test_case "server: disk cache concurrent writers" `Quick
+      test_disk_concurrent_writers;
     prop_disk_roundtrip;
     Alcotest.test_case "server: pool runs everything" `Quick test_pool_runs_everything;
     Alcotest.test_case "server: pool wall-clock parallelism" `Quick test_pool_parallelism;
