@@ -104,6 +104,90 @@ let dist_socket_part () =
     domain_rtt_ns = Float.nan;
   }
 
+(* Part 0b: the comm-opt trade, measured on both sides of the k gap.
+   Each row compiles a kernel at one message cost k, optimizes the
+   programs with Comm_opt at the default window, and records the
+   message count, the simulated makespan at that same k, and the
+   socket wall-clock before/after.  Socket halves fork, so this also
+   runs in the fork phase.                                            *)
+
+type comm_row = {
+  co_kernel : string;
+  co_procs : int;
+  co_k : int;  (* the k the schedule was priced AND simulated at *)
+  co_iterations : int;
+  co_messages_before : int;
+  co_messages_after : int;
+  co_elided : int;
+  co_coalesced : int;
+  co_sim_make_before : int;
+  co_sim_make_after : int;
+  co_comm_cycles_before : int;
+  co_comm_cycles_after : int;
+  co_socket_before_ns : float;
+  co_socket_after_ns : float;
+}
+
+let comm_opt_window = 4
+
+let comm_opt_part ~assumed_k ~effective_k () =
+  List.concat_map
+    (fun (co_kernel, src, co_iterations) ->
+      List.concat_map
+        (fun co_procs ->
+          List.map
+            (fun co_k ->
+              let loop, program =
+                dist_compile ~src ~processors:co_procs ~k:co_k ~iterations:co_iterations
+              in
+              let opt, stats =
+                Mimd_codegen.Comm_opt.run ~window:comm_opt_window program
+              in
+              let links = Mimd_sim.Links.fixed co_k in
+              let before = Mimd_sim.Exec.run ~program ~links () in
+              let after = Mimd_sim.Exec.run ~program:opt ~links () in
+              let sock p =
+                (Mimd_dist.Runner.run ~loop ~program:p ())
+                  .Mimd_runtime.Value_run.makespan_ns
+              in
+              {
+                co_kernel;
+                co_procs;
+                co_k;
+                co_iterations;
+                co_messages_before = stats.Mimd_codegen.Comm_opt.messages_before;
+                co_messages_after = stats.Mimd_codegen.Comm_opt.messages_after;
+                co_elided = stats.Mimd_codegen.Comm_opt.elided;
+                co_coalesced = stats.Mimd_codegen.Comm_opt.coalesced;
+                co_sim_make_before = before.Mimd_sim.Exec.makespan;
+                co_sim_make_after = after.Mimd_sim.Exec.makespan;
+                co_comm_cycles_before = before.Mimd_sim.Exec.comm_cycles;
+                co_comm_cycles_after = after.Mimd_sim.Exec.comm_cycles;
+                co_socket_before_ns = sock program;
+                co_socket_after_ns = sock opt;
+              })
+            [ assumed_k; effective_k ])
+        [ 2; 4 ])
+    [ ("ewf", W.Elliptic.source, 60); ("fig1", W.Fig1.source, 60) ]
+
+let comm_opt_print rows =
+  print_endline
+    "\n=== COMM-OPT (message elision + coalescing, before -> after) ===";
+  Printf.printf "window %d; a row's schedule is priced and simulated at its own k\n"
+    comm_opt_window;
+  Printf.printf "%-8s %5s %3s %10s %12s %12s %16s\n" "kernel" "procs" "k" "messages"
+    "sim-make" "comm-cyc" "socket-us";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %5d %3d %4d->%-5d %5d->%-6d %5d->%-6d %7.0f->%-8.0f\n"
+        r.co_kernel r.co_procs r.co_k r.co_messages_before r.co_messages_after
+        r.co_sim_make_before r.co_sim_make_after r.co_comm_cycles_before
+        r.co_comm_cycles_after
+        (r.co_socket_before_ns /. 1e3)
+        (r.co_socket_after_ns /. 1e3))
+    rows;
+  flush stdout
+
 (* The in-process half: same programs on the domain runtime, plus the
    mesh round trip to hold next to the socket one.  Safe to run any
    time after the fork phase. *)
@@ -437,10 +521,33 @@ let dist_json d =
   Buffer.add_string b "  ]},\n";
   Buffer.contents b
 
-let write_json ~dist ~runtime_rows ~server ~bechamel_rows path =
+let comm_opt_json rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "  \"comm_opt\": {\"window\": %d, \"runs\": [\n" comm_opt_window);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"processors\": %d, \"k\": %d, \"iterations\": %d, \
+            \"messages_before\": %d, \"messages_after\": %d, \"elided\": %d, \
+            \"coalesced\": %d, \"sim_makespan_before\": %d, \"sim_makespan_after\": %d, \
+            \"comm_cycles_before\": %d, \"comm_cycles_after\": %d, \
+            \"socket_makespan_before_ns\": %.0f, \"socket_makespan_after_ns\": %.0f}%s\n"
+           (json_escape r.co_kernel) r.co_procs r.co_k r.co_iterations
+           r.co_messages_before r.co_messages_after r.co_elided r.co_coalesced
+           r.co_sim_make_before r.co_sim_make_after r.co_comm_cycles_before
+           r.co_comm_cycles_after r.co_socket_before_ns r.co_socket_after_ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]},\n";
+  Buffer.contents b
+
+let write_json ~dist ~comm_rows ~runtime_rows ~server ~bechamel_rows path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": 1,\n  \"generated_by\": \"bench/main.exe\",\n";
   Buffer.add_string b (dist_json dist);
+  Buffer.add_string b (comm_opt_json comm_rows);
   Buffer.add_string b "  \"runtime\": [\n";
   List.iteri
     (fun i r ->
@@ -657,6 +764,31 @@ let quick () =
     Printf.printf "disabled trace-span guard is suspiciously expensive (> 100 ns)\n";
     failed := true
   end;
+  (* Comm-opt smoke: message-count and makespan deltas on ewf at the
+     assumed k, no forking.  Gates the headline claim cheaply: the
+     rewrite must keep cutting messages by >= 20% here. *)
+  List.iter
+    (fun (kernel, src) ->
+      let _, program = dist_compile ~src ~processors:2 ~k:2 ~iterations:60 in
+      let opt, stats = Mimd_codegen.Comm_opt.run ~window:comm_opt_window program in
+      let links = Mimd_sim.Links.fixed 2 in
+      let before = Mimd_sim.Exec.run ~program ~links () in
+      let after = Mimd_sim.Exec.run ~program:opt ~links () in
+      Printf.printf
+        "mimdloop comm-opt %-8s messages %d -> %d, sim makespan %d -> %d, comm cycles \
+         %d -> %d\n"
+        kernel stats.Mimd_codegen.Comm_opt.messages_before
+        stats.Mimd_codegen.Comm_opt.messages_after before.Mimd_sim.Exec.makespan
+        after.Mimd_sim.Exec.makespan before.Mimd_sim.Exec.comm_cycles
+        after.Mimd_sim.Exec.comm_cycles;
+      if
+        float_of_int stats.Mimd_codegen.Comm_opt.messages_after
+        > 0.8 *. float_of_int stats.Mimd_codegen.Comm_opt.messages_before
+      then begin
+        Printf.printf "comm-opt reduction on %s fell below 20%%\n" kernel;
+        failed := true
+      end)
+    [ ("ewf", W.Elliptic.source); ("fig1", W.Fig1.source) ];
   if !failed then exit 1
 
 let () =
@@ -664,10 +796,14 @@ let () =
   else begin
     (* forks first, domains after — see Part 0 *)
     let dist = dist_socket_part () in
+    let comm_rows =
+      comm_opt_part ~assumed_k:dist.assumed_k ~effective_k:dist.effective_k_rounded ()
+    in
     reproduce ();
     let runtime_rows = runtime_comparison () in
     dist_domain_part dist;
+    comm_opt_print comm_rows;
     let server = server_comparison () in
     let bechamel_rows = benchmark () in
-    write_json ~dist ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"
+    write_json ~dist ~comm_rows ~runtime_rows ~server ~bechamel_rows "BENCH_results.json"
   end

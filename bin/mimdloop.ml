@@ -207,8 +207,39 @@ let classify_cmd =
     (Cmd.info "classify" ~doc:"Partition a loop into Flow-in / Cyclic / Flow-out (paper Fig. 2)")
     Term.(const run $ workload_t $ file_t $ seed_t $ dot_t)
 
+let comm_opt_t =
+  Arg.(value & flag & info [ "comm-opt" ]
+         ~doc:"Rewrite the generated programs with the synchronization-minimizing pass: \
+               elide messages whose ordering is transitively implied by retained \
+               messages (forwarding their values on the retained frames) and coalesce \
+               per-link messages into multi-tag frames.")
+
+let comm_window_t =
+  Arg.(value & opt int 4 & info [ "comm-window" ] ~docv:"W"
+         ~doc:"Iteration span a coalesced frame may cover under $(b,--comm-opt): \
+               members satisfy max iter - min iter < $(docv); 0 disables coalescing.")
+
+(* Shared by schedule/run-parallel/run-dist: optimize a generated
+   program, have the independent token simulation accept it, and
+   report the message/makespan deltas the rewrite bought. *)
+let optimize_program ~window program =
+  match Mimd_codegen.Comm_opt.run ~window program with
+  | exception Failure m -> Error ("comm-opt: " ^ m)
+  | exception Invalid_argument m -> Error ("comm-opt: " ^ m)
+  | opt, stats -> (
+    match Mimd_check.Validate.program_validator opt with
+    | Error m -> Error ("optimized program rejected by the independent validator: " ^ m)
+    | Ok () -> Ok (opt, stats))
+
+let print_comm_stats (stats : Mimd_codegen.Comm_opt.stats) =
+  Format.printf
+    "comm-opt: messages %d -> %d (elided %d, coalesced %d, %d forwarded value(s))@."
+    stats.Mimd_codegen.Comm_opt.messages_before stats.Mimd_codegen.Comm_opt.messages_after
+    stats.Mimd_codegen.Comm_opt.elided stats.Mimd_codegen.Comm_opt.coalesced
+    stats.Mimd_codegen.Comm_opt.forwarded_values
+
 let schedule_cmd =
-  let run workload file seed processors k iterations validate trace =
+  let run workload file seed processors k iterations validate comm_opt comm_window trace =
     with_graph workload file seed (fun g ->
         with_trace trace @@ fun () ->
         let machine = machine_of processors k in
@@ -226,7 +257,26 @@ let schedule_cmd =
         let par = Full_sched.parallel_time full in
         Format.printf "sequential %d, parallel %d -> percentage parallelism %.1f@." seq par
           (Mimd_core.Metrics.percentage_parallelism ~sequential:seq ~parallel:par);
-        0)
+        if not comm_opt then 0
+        else begin
+          (* Re-price the schedule's communication term: same programs,
+             fewer frames, simulated at the same per-message cost k. *)
+          let program = Mimd_codegen.From_schedule.run full.Full_sched.schedule in
+          match optimize_program ~window:comm_window program with
+          | Error e ->
+            prerr_endline ("mimdloop: " ^ e);
+            1
+          | Ok (opt, stats) ->
+            print_comm_stats stats;
+            let links = Mimd_sim.Links.fixed k in
+            let before = Mimd_sim.Exec.run ~program ~links () in
+            let after = Mimd_sim.Exec.run ~program:opt ~links () in
+            Format.printf
+              "comm-opt: simulated makespan %d -> %d at k=%d (comm cycles %d -> %d)@."
+              before.Mimd_sim.Exec.makespan after.Mimd_sim.Exec.makespan k
+              before.Mimd_sim.Exec.comm_cycles after.Mimd_sim.Exec.comm_cycles;
+            0
+        end)
   in
   let validate_t =
     Arg.(value & flag & info [ "validate" ]
@@ -237,7 +287,7 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Run the full pattern-based scheduling pipeline (paper Fig. 6)")
     Term.(
       const run $ workload_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t
-      $ validate_t $ trace_t)
+      $ validate_t $ comm_opt_t $ comm_window_t $ trace_t)
 
 let doacross_cmd =
   let run workload file seed processors k iterations exhaustive =
@@ -537,7 +587,7 @@ let src_t =
    for its cache-repeat reporting).  Codegen runs with validate:true,
    so the independent token simulation audits the message protocol
    over whichever channel backend runs it next. *)
-let compile_for_run ~loop ~machine ~iterations ~no_cache =
+let compile_for_run ?comm_opt ~loop ~machine ~iterations ~no_cache () =
   let flat =
     if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
   in
@@ -560,11 +610,17 @@ let compile_for_run ~loop ~machine ~iterations ~no_cache =
     match Mimd_codegen.From_schedule.run ~validate:true schedule with
     | exception Mimd_codegen.From_schedule.Invalid_program m ->
       Error ("generated program rejected by the validator: " ^ m)
-    | program -> Ok (flat, full, program)
+    | program -> (
+      match comm_opt with
+      | None -> Ok (flat, full, program, None)
+      | Some window -> (
+        match optimize_program ~window program with
+        | Error e -> Error e
+        | Ok (opt, stats) -> Ok (flat, full, opt, Some stats)))
 
 let run_parallel_cmd =
   let run src file seed processors k iterations timed grain_us repeat no_cache timeout fault
-      trace =
+      comm_opt comm_window trace =
     match load_loop ~src ~file ~seed with
     | Error e ->
       prerr_endline ("mimdloop: " ^ e);
@@ -610,6 +666,18 @@ let run_parallel_cmd =
           prerr_endline ("mimdloop: generated program rejected by the validator: " ^ m);
           1
         | program ->
+        let optimized =
+          if comm_opt then optimize_program ~window:comm_window program
+          else Ok (program, { Mimd_codegen.Comm_opt.messages_before = 0;
+                              messages_after = 0; elided = 0; coalesced = 0;
+                              forwarded_values = 0 })
+        in
+        match optimized with
+        | Error e ->
+          prerr_endline ("mimdloop: " ^ e);
+          1
+        | Ok (program, comm_stats) ->
+        if comm_opt then print_comm_stats comm_stats;
         (* Deterministic fault injection, exercising the failure exits:
            drop-send removes one message after validation (the watchdog
            must fire), skew-init perturbs only the runtime's initial
@@ -740,7 +808,8 @@ let run_parallel_cmd =
              and check the values against the sequential interpreter")
     Term.(
       const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t $ timed_t
-      $ grain_t $ repeat_t $ no_cache_t $ timeout_t $ fault_t $ trace_t)
+      $ grain_t $ repeat_t $ no_cache_t $ timeout_t $ fault_t $ comm_opt_t $ comm_window_t
+      $ trace_t)
 
 let check_cmd =
   let module V = Mimd_check.Validate in
@@ -767,9 +836,13 @@ let check_cmd =
     print_string (V.render ~names:(Graph.name g) report);
     V.ok report
   in
-  let run workload file seed all processors k iterations broken fuzz fuzz_seed fuzz_fault
-      fuzz_out no_runtime replay =
+  let run workload file seed all processors k iterations broken fuzz fuzz_comm fuzz_seed
+      fuzz_fault inject_fault fuzz_out no_runtime replay =
     let machine = machine_of processors k in
+    let fault =
+      if fuzz_fault then F.Hasten_dependent
+      else match inject_fault with `Keep_extra_send -> F.Keep_extra_send | `None -> F.No_fault
+    in
     match replay with
     | Some path -> begin
       match F.load_case path with
@@ -783,8 +856,13 @@ let check_cmd =
         prerr_endline (Printf.sprintf "mimdloop: lex error at %d: %s" position message);
         1
       | case -> begin
-        let fault = if fuzz_fault then F.Hasten_dependent else F.No_fault in
-        match F.check_case ~fault ~runtime:(not no_runtime) case with
+        let result =
+          (* a dumped comm counterexample replays through the comm oracle *)
+          match case.F.oracle with
+          | F.Comm -> F.check_comm_case ~fault ~runtime:(not no_runtime) case
+          | F.Pipeline -> F.check_case ~fault ~runtime:(not no_runtime) case
+        in
+        match result with
         | Ok () ->
           Printf.printf "replay %s: all checks passed\n" path;
           0
@@ -794,21 +872,26 @@ let check_cmd =
       end
     end
     | None -> begin
-      match fuzz with
-      | Some count ->
+      match (fuzz, fuzz_comm) with
+      | Some _, Some _ ->
+        prerr_endline "mimdloop: choose one of --fuzz, --fuzz-comm";
+        1
+      | (Some count, None | None, Some count) -> begin
         let cfg =
           {
             F.count;
             seed = fuzz_seed;
-            fault = (if fuzz_fault then F.Hasten_dependent else F.No_fault);
+            fault;
             runtime = not no_runtime;
             out_dir = fuzz_out;
+            oracle = (if Option.is_some fuzz_comm then F.Comm else F.Pipeline);
           }
         in
         let outcome = F.run cfg in
         print_endline (F.describe outcome);
-        (match outcome with F.Passed _ -> 0 | F.Failed _ -> 1)
-      | None ->
+        match outcome with F.Passed _ -> 0 | F.Failed _ -> 1
+      end
+      | None, None ->
         if all || (workload = None && file = None && seed = None) then begin
           let oks =
             List.map
@@ -838,9 +921,25 @@ let check_cmd =
                  pipeline with every stage audited and the values compared against the \
                  sequential interpreter.")
   in
+  let fuzz_comm_t =
+    Arg.(value & opt (some int) None & info [ "fuzz-comm" ] ~docv:"N"
+           ~doc:"Differentially fuzz the synchronization-minimizing rewrite: N random \
+                 loops and machine shapes, each compiled, optimized with comm-opt, \
+                 accepted by the independent token simulation, and compared value by \
+                 value — optimized vs unoptimized — across the simulator, the domain \
+                 runtime and the forked-socket runtime.")
+  in
   let fuzz_seed_t =
     Arg.(value & opt int 0 & info [ "fuzz-seed" ] ~docv:"SEED"
-           ~doc:"Generator seed for --fuzz (same seed, same cases).")
+           ~doc:"Generator seed for --fuzz/--fuzz-comm (same seed, same cases).")
+  in
+  let inject_fault_t =
+    let faults = [ ("none", `None); ("keep-extra-send", `Keep_extra_send) ] in
+    Arg.(value & opt (enum faults) `None & info [ "inject-fault" ] ~docv:"FAULT"
+           ~doc:"Sabotage every --fuzz-comm case to prove the oracle has teeth: \
+                 $(b,keep-extra-send) makes the rewrite keep one frame's Send but drop \
+                 its Recv; the independent validator must reject every such program \
+                 (non-zero exit).")
   in
   let fuzz_fault_t =
     Arg.(value & flag & info [ "fuzz-fault" ]
@@ -868,8 +967,8 @@ let check_cmd =
              whole pipeline against the sequential interpreter")
     Term.(
       const run $ workload_t $ file_t $ seed_t $ all_t $ processors_t $ k_t $ iterations_t
-      $ broken_t $ fuzz_t $ fuzz_seed_t $ fuzz_fault_t $ fuzz_out_t $ no_runtime_t
-      $ replay_t)
+      $ broken_t $ fuzz_t $ fuzz_comm_t $ fuzz_seed_t $ fuzz_fault_t $ inject_fault_t
+      $ fuzz_out_t $ no_runtime_t $ replay_t)
 
 (* ------------------------------------------------------------------ *)
 (* The compile service: serve (stdio / Unix socket) and batch           *)
@@ -907,7 +1006,7 @@ let resolve_jobs = function
   | Some _ -> 1
   | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
 
-let make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate =
+let make_server ?comm_opt ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate () =
   let disk =
     if no_disk_cache then None
     else
@@ -915,16 +1014,18 @@ let make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate =
         (Mimd_server.Disk_cache.create
            ~dir:(Option.value ~default:(Mimd_server.Disk_cache.default_dir ()) cache_dir))
   in
-  let service = Mimd_server.Service.create ?disk ~validate () in
+  let service = Mimd_server.Service.create ?disk ~validate ?comm_opt () in
   let pool = Mimd_server.Pool.create ~queue_depth ~jobs:(resolve_jobs jobs) () in
   let server = Mimd_server.Server.create ~service ~pool () in
   (server, pool)
 
 let serve_cmd =
-  let run stdio socket jobs queue_depth cache_dir no_disk_cache validate trace =
+  let run stdio socket jobs queue_depth cache_dir no_disk_cache validate comm_opt
+      comm_window trace =
     with_streaming_trace trace @@ fun () ->
+    let comm_opt = if comm_opt then Some comm_window else None in
     let server, pool =
-      make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate
+      make_server ?comm_opt ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate ()
     in
     let code =
       match (stdio, socket) with
@@ -955,13 +1056,13 @@ let serve_cmd =
              a two-tier (memory + disk) schedule cache, speaking newline-delimited JSON")
     Term.(
       const run $ stdio_t $ socket_t $ jobs_t $ queue_depth_t $ cache_dir_t
-      $ no_disk_cache_t $ validate_sched_t $ trace_t)
+      $ no_disk_cache_t $ validate_sched_t $ comm_opt_t $ comm_window_t $ trace_t)
 
 let batch_cmd =
   let run paths jobs queue_depth cache_dir no_disk_cache validate processors k iterations
       deadline_ms =
     let server, pool =
-      make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate
+      make_server ~jobs ~queue_depth ~cache_dir ~no_disk_cache ~validate ()
     in
     let machine = machine_of processors k in
     let code =
@@ -1002,18 +1103,20 @@ let run_dist_cmd =
   (* One dist execution: compile, fork, compare against the sequential
      interpreter.  Returns an error string instead of printing so the
      sweep can aggregate. *)
-  let dist_once ?sabotage ~loop ~machine ~iterations ~timeout () =
-    match compile_for_run ~loop ~machine ~iterations ~no_cache:false with
+  let dist_once ?sabotage ?comm_opt ~loop ~machine ~iterations ~timeout () =
+    match compile_for_run ?comm_opt ~loop ~machine ~iterations ~no_cache:false () with
     | Error e -> Error e
-    | Ok (flat, _full, program) -> (
+    | Ok (flat, _full, program, stats) -> (
       match Runner.run ?sabotage ~timeout ~loop:flat ~program () with
       | exception Runner.Dist_error f -> Error ("dist failure: " ^ Runner.describe f)
       | outcome -> (
         match VR.check_against_sequential ~loop:flat ~iterations outcome with
         | Error e -> Error ("MISMATCH vs sequential interpreter: " ^ e)
-        | Ok () -> Ok (flat, program, outcome)))
+        | Ok () -> Ok (flat, program, stats, outcome)))
   in
-  let run src file seed processors k iterations timeout probe vs_domains sweep fault trace =
+  let run src file seed processors k iterations timeout probe vs_domains sweep fault
+      comm_opt comm_window trace =
+    let comm_opt = if comm_opt then Some comm_window else None in
     guard_broken_pipe @@ fun () ->
     with_trace trace @@ fun () ->
     let machine = machine_of processors k in
@@ -1029,7 +1132,7 @@ let run_dist_cmd =
       let failures = ref [] in
       for seed = 1 to sweep do
         let loop = W.Random_loop.generate_loop ~seed () in
-        match dist_once ~loop ~machine ~iterations ~timeout () with
+        match dist_once ?comm_opt ~loop ~machine ~iterations ~timeout () with
         | Ok _ -> ()
         | Error e -> failures := (seed, e) :: !failures
       done;
@@ -1063,11 +1166,12 @@ let run_dist_cmd =
                    error and reap the rest. *)
                 try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ())
         in
-        match dist_once ?sabotage ~loop ~machine ~iterations ~timeout () with
+        match dist_once ?sabotage ?comm_opt ~loop ~machine ~iterations ~timeout () with
         | Error e ->
           prerr_endline ("mimdloop: " ^ e);
           1
-        | Ok (flat, program, outcome) ->
+        | Ok (flat, program, stats, outcome) ->
+          Option.iter print_comm_stats stats;
           Format.printf
             "OK: %d forked process(es) computed all %d iteration(s) bit-identically to \
              the sequential interpreter@."
@@ -1134,7 +1238,8 @@ let run_dist_cmd =
              the sequential interpreter")
     Term.(
       const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t
-      $ dist_timeout_t $ probe_t $ vs_domains_t $ sweep_t $ fault_t $ trace_t)
+      $ dist_timeout_t $ probe_t $ vs_domains_t $ sweep_t $ fault_t $ comm_opt_t
+      $ comm_window_t $ trace_t)
 
 let route_cmd =
   let run workers socket worker_dir max_inflight jobs queue_depth cache_dir no_disk_cache
@@ -1240,9 +1345,23 @@ let procs_cmd =
     Term.(const run $ workload_t $ file_t $ seed_t $ k_t $ max_t)
 
 let fingerprint_cmd =
-  let run workload file seed files processors k iterations =
+  let run workload file seed files processors k iterations comm_opt comm_window =
     let machine = machine_of processors k in
-    let fp g = Full_sched.output_fingerprint (Full_sched.run ~graph:g ~machine ~iterations ()) in
+    (* With --comm-opt the digest pins the optimized programs, and the
+       line carries the message-count delta the rewrite bought, so the
+       golden corpus doubles as a reduction table. *)
+    let fp g =
+      let full = Full_sched.run ~graph:g ~machine ~iterations () in
+      if not comm_opt then Full_sched.output_fingerprint full
+      else begin
+        let program = Mimd_codegen.From_schedule.run full.Full_sched.schedule in
+        let opt, stats = Mimd_codegen.Comm_opt.run ~window:comm_window program in
+        Printf.sprintf "%s  %d->%d"
+          (Mimd_codegen.Comm_opt.fingerprint opt)
+          stats.Mimd_codegen.Comm_opt.messages_before
+          stats.Mimd_codegen.Comm_opt.messages_after
+      end
+    in
     if files <> [] then begin
       let failed = ref false in
       List.iter
@@ -1286,7 +1405,8 @@ let fingerprint_cmd =
     (Cmd.info "fingerprint"
        ~doc:"Print a canonical 64-bit digest of the compiled schedule, for golden diffs")
     Term.(
-      const run $ workload_t $ file_t $ seed_t $ files_t $ processors_t $ k_t $ iterations_t)
+      const run $ workload_t $ file_t $ seed_t $ files_t $ processors_t $ k_t $ iterations_t
+      $ comm_opt_t $ comm_window_t)
 
 let trace_cmd =
   let run pos_file workload file seed output processors k iterations mm =
@@ -1399,6 +1519,18 @@ let main_cmd =
 (* Every ~validate:true pipeline run — here and in the tests — is
    audited by the independent checker, not by the layers' own checks. *)
 let () = Mimd_check.Validate.install_hooks ()
+
+(* The comm fuzz oracle's socket leg: mimd_check sits below mimd_dist
+   in the dependency graph, so the forked-socket executor is injected
+   here, where both are visible. *)
+let () =
+  Mimd_check.Fuzz.socket_backend :=
+    Some
+      (fun ~loop ~program ->
+        match Mimd_dist.Runner.run ~timeout:30.0 ~loop ~program () with
+        | exception Mimd_dist.Runner.Dist_error f ->
+          Error ("dist failure: " ^ Mimd_dist.Runner.describe f)
+        | outcome -> Ok outcome.Mimd_runtime.Value_run.instance_values)
 
 (* A reader that stops consuming (mimdloop ... | head) breaks stdout;
    with SIGPIPE ignored that surfaces as Sys_error EPIPE from the

@@ -10,13 +10,16 @@ module Links = Mimd_sim.Links
 module Value_run = Mimd_runtime.Value_run
 module Watchdog = Mimd_runtime.Watchdog
 
-type fault = No_fault | Hasten_dependent
+type fault = No_fault | Hasten_dependent | Keep_extra_send
+
+type oracle = Pipeline | Comm
 
 type case = {
   loop : Ast.loop;
   processors : int;
   comm : int;
   iterations : int;
+  oracle : oracle;
 }
 
 type config = {
@@ -25,10 +28,18 @@ type config = {
   fault : fault;
   runtime : bool;
   out_dir : string option;
+  oracle : oracle;
 }
 
 let default_config =
-  { count = 200; seed = 0; fault = No_fault; runtime = true; out_dir = None }
+  {
+    count = 200;
+    seed = 0;
+    fault = No_fault;
+    runtime = true;
+    out_dir = None;
+    oracle = Pipeline;
+  }
 
 type outcome =
   | Passed of int
@@ -72,7 +83,7 @@ let check_case ?(fault = No_fault) ?(runtime = true) case =
     let full = Full_sched.run ~graph ~machine ~iterations:case.iterations () in
     let sched =
       match fault with
-      | No_fault -> full.Full_sched.schedule
+      | No_fault | Keep_extra_send -> full.Full_sched.schedule
       | Hasten_dependent -> (
         match Validate.break_dependence full.Full_sched.schedule with
         | Some broken -> broken
@@ -110,16 +121,137 @@ let check_case ?(fault = No_fault) ?(runtime = true) case =
   with e -> Error ("exception: " ^ Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
+(* The comm-opt oracle: optimized vs unoptimized, all executors        *)
+
+(* The socket backend lives above this library in the dependency graph
+   (mimd_dist -> mimd_server -> mimd_check), so the comm oracle reaches
+   it through an injected hook; [mimdloop] installs it at startup, the
+   same pattern as {!Validate.install_hooks}.  The hook runs the
+   program on forked processes and returns its instance values. *)
+let socket_backend :
+    (loop:Ast.loop ->
+    program:Mimd_codegen.Program.t ->
+    (((int * int) * float) list, string) result)
+    option
+    ref =
+  ref None
+
+(* The domain runtime poisons fork (OCaml forbids forking once a domain
+   exists), and the socket backend forks — so when one comm case needs
+   both, the domain leg runs inside a forked child that reports its
+   instance values over a pipe and exits without returning to the
+   harness.  The parent never creates a domain and stays fork-safe for
+   the next case. *)
+let domain_instances_forked ~loop ~program =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let result : (((int * int) * float) list, string) result =
+      try
+        let watchdog = Watchdog.config ~timeout:30.0 () in
+        let rt = Value_run.run ~watchdog ~loop ~program () in
+        Ok rt.Value_run.instance_values
+      with e -> Error (Printexc.to_string e)
+    in
+    let oc = Unix.out_channel_of_descr w in
+    Marshal.to_channel oc result [];
+    flush oc;
+    Unix._exit 0
+  | pid ->
+    Unix.close w;
+    let ic = Unix.in_channel_of_descr r in
+    let result =
+      match (Marshal.from_channel ic : (((int * int) * float) list, string) result) with
+      | result -> result
+      | exception _ -> Error "domain helper child died before reporting"
+    in
+    In_channel.close ic;
+    ignore (Unix.waitpid [] pid);
+    result
+
+let check_comm_case ?(fault = No_fault) ?(runtime = true) ?window case =
+  (* The default window is a deterministic function of the case, so a
+     replayed counterexample exercises exactly the coalescing the
+     original run did without the dump having to carry the window. *)
+  let window =
+    match window with Some w -> w | None -> 1 + (case.iterations mod 4)
+  in
+  try
+    let loop =
+      if Ast.is_flat case.loop then case.loop else Mimd_loop_ir.If_convert.run case.loop
+    in
+    let graph = (Depend.analyze loop).Depend.graph in
+    let machine = Config.make ~processors:case.processors ~comm_estimate:case.comm in
+    let full = Full_sched.run ~graph ~machine ~iterations:case.iterations () in
+    let names = Graph.name graph in
+    let program = Mimd_codegen.From_schedule.run full.Full_sched.schedule in
+    let* () = Validate.error_of ~names (Validate.program program) in
+    let comm_fault =
+      match fault with
+      | Keep_extra_send -> Some Mimd_codegen.Comm_opt.Keep_extra_send
+      | No_fault | Hasten_dependent -> None
+    in
+    match Mimd_codegen.Comm_opt.run ~window ?fault:comm_fault program with
+    | exception Failure m -> Error ("comm-opt self-check: " ^ m)
+    | opt, _stats ->
+      (* The independent token simulation must accept every optimized
+         program — with an injected fault it must reject it instead,
+         which surfaces here as the case failing. *)
+      let* () =
+        Result.map_error
+          (( ^ ) "optimized program rejected: ")
+          (Validate.error_of ~names (Validate.program opt))
+      in
+      let links = Links.fixed (max 1 case.comm) in
+      let sim_base = Value_exec.run ~loop ~program ~links () in
+      let sim_opt = Value_exec.run ~loop ~program:opt ~links () in
+      let* () =
+        Result.map_error
+          (( ^ ) "optimized simulator vs interpreter: ")
+          (Value_exec.check_against_sequential ~loop ~iterations:case.iterations sim_opt)
+      in
+      let* () =
+        Result.map_error
+          (( ^ ) "optimized vs unoptimized simulator: ")
+          (compare_instances ~sim:sim_base.Value_exec.instance_values
+             ~rt:sim_opt.Value_exec.instance_values)
+      in
+      if not runtime then Ok ()
+      else begin
+        (* Socket run first (it forks), then the domain run in its own
+           forked child — the parent must never create a domain. *)
+        let* () =
+          match !socket_backend with
+          | None -> Ok ()
+          | Some run_sockets ->
+            let* sock = run_sockets ~loop ~program:opt in
+            Result.map_error
+              (( ^ ) "optimized simulator vs socket runtime: ")
+              (compare_instances ~sim:sim_opt.Value_exec.instance_values ~rt:sock)
+        in
+        let* dom = domain_instances_forked ~loop ~program:opt in
+        Result.map_error
+          (( ^ ) "optimized simulator vs domain runtime: ")
+          (compare_instances ~sim:sim_opt.Value_exec.instance_values ~rt:dom)
+      end
+  with e -> Error ("exception: " ^ Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
 (* Replayable counterexample files                                     *)
 
-let render_case case =
+let oracle_name = function Pipeline -> "pipeline" | Comm -> "comm"
+
+let render_case (case : case) =
   Format.asprintf
     "# mimd-check fuzz counterexample (replay: mimdloop check --replay <file>)@\n\
+     # oracle: %s@\n\
      # processors: %d@\n\
      # comm: %d@\n\
      # iterations: %d@\n\
      %a@."
-    case.processors case.comm case.iterations Ast.pp_loop case.loop
+    (oracle_name case.oracle) case.processors case.comm case.iterations Ast.pp_loop
+    case.loop
 
 let sanitize_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
@@ -148,11 +280,20 @@ let load_case path =
       default
       (String.split_on_char '\n' src)
   in
+  let oracle =
+    if
+      List.exists
+        (fun line -> String.trim line = "# oracle: comm")
+        (String.split_on_char '\n' src)
+    then Comm
+    else Pipeline
+  in
   {
     loop = Parser.parse src;
     processors = header "processors" 2;
     comm = header "comm" 2;
     iterations = header "iterations" 10;
+    oracle;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -163,7 +304,7 @@ let load_case path =
    in {-1, 0}, so dependence distances stay in the scheduler's {0, 1}.
    Operators exclude division to keep the float differential free of
    NaN/infinity plumbing. *)
-let gen_case =
+let gen_case_for oracle =
   QCheck2.Gen.(
     let arrays = [| "A"; "B"; "C"; "D" |] in
     let gen_ref =
@@ -191,11 +332,48 @@ let gen_case =
          let* rhs = gen_expr 2 in
          return (Ast.Assign { array = arrays.(arr); offset = 0; rhs }))
     in
+    (* The comm oracle wants fan-out: extra reads of earlier writers
+       create the transitive (diamond) dependence shapes the elision
+       rewrite targets, which a pure statement chain never produces. *)
+    let* body =
+      match oracle with
+      | Pipeline -> return body
+      | Comm ->
+        let rec widen earlier acc = function
+          | [] -> return (List.rev acc)
+          | Ast.Assign { array; offset; rhs } :: rest ->
+            let* rhs =
+              if earlier = [] then return rhs
+              else
+                let* add = bool in
+                if not add then return rhs
+                else
+                  let* j = int_range 0 (List.length earlier - 1) in
+                  let* off = int_range (-1) 0 in
+                  return
+                    (Ast.Binop
+                       ( Ast.Add,
+                         rhs,
+                         Ast.Ref { array = List.nth earlier j; offset = off } ))
+            in
+            widen (array :: earlier)
+              (Ast.Assign { array; offset; rhs } :: acc)
+              rest
+          | stmt :: rest -> widen earlier (stmt :: acc) rest
+        in
+        widen [] [] body
+    in
     let* processors = int_range 2 4 in
     let* comm = int_range 0 2 in
     let* iterations = int_range 4 14 in
     return
-      { loop = { Ast.index = "i"; lo = "1"; hi = "n"; body }; processors; comm; iterations })
+      {
+        loop = { Ast.index = "i"; lo = "1"; hi = "n"; body };
+        processors;
+        comm;
+        iterations;
+        oracle;
+      })
 
 let print_case case =
   (* What QCheck prints for a (shrunk) counterexample — same format as
@@ -207,16 +385,26 @@ let run cfg =
      smaller candidates and stops at a minimal failing one — so the
      last failure the property itself observes IS the shrunk case. *)
   let last_failure = ref None in
-  let prop case =
-    match check_case ~fault:cfg.fault ~runtime:cfg.runtime case with
+  let prop (case : case) =
+    let result =
+      match case.oracle with
+      | Pipeline -> check_case ~fault:cfg.fault ~runtime:cfg.runtime case
+      | Comm -> check_comm_case ~fault:cfg.fault ~runtime:cfg.runtime case
+    in
+    match result with
     | Ok () -> true
     | Error reason ->
       last_failure := Some (case, reason);
       false
   in
+  let name =
+    match cfg.oracle with
+    | Pipeline -> "mimd-check cross-layer fuzz"
+    | Comm -> "mimd-check comm-opt differential fuzz"
+  in
   let cell =
-    QCheck2.Test.make_cell ~name:"mimd-check cross-layer fuzz" ~count:cfg.count
-      ~print:print_case gen_case prop
+    QCheck2.Test.make_cell ~name ~count:cfg.count ~print:print_case
+      (gen_case_for cfg.oracle) prop
   in
   let result = QCheck2.Test.check_cell ~rand:(Random.State.make [| cfg.seed |]) cell in
   if QCheck2.TestResult.is_success result then Passed cfg.count
@@ -226,8 +414,14 @@ let run cfg =
       (* unreachable in practice: the property never raises *)
       Failed
         {
-          case = { loop = { Ast.index = "i"; lo = "1"; hi = "n"; body = [] };
-                   processors = 2; comm = 2; iterations = 1 };
+          case =
+            {
+              loop = { Ast.index = "i"; lo = "1"; hi = "n"; body = [] };
+              processors = 2;
+              comm = 2;
+              iterations = 1;
+              oracle = cfg.oracle;
+            };
           reason = "fuzz failed without a recorded counterexample";
           file = None;
         }

@@ -27,12 +27,21 @@ type fault =
       (** after scheduling, hasten one dependent instance to one cycle
           before its earliest legal start ({!Validate.break_dependence});
           the oracle is expected to flag every such case *)
+  | Keep_extra_send
+      (** comm oracle only: make {!Mimd_codegen.Comm_opt} keep one
+          frame's Send but drop its Recv — the footprint of an unsound
+          elision; {!Validate.program} must reject the result *)
+
+type oracle =
+  | Pipeline  (** the cross-layer oracle of {!check_case} *)
+  | Comm  (** the comm-opt differential oracle of {!check_comm_case} *)
 
 type case = {
   loop : Mimd_loop_ir.Ast.loop;  (** flat, distances in [{0, 1}] *)
   processors : int;
   comm : int;  (** the paper's [k] *)
   iterations : int;  (** trip count for scheduling and execution *)
+  oracle : oracle;  (** which oracle this case replays through *)
 }
 
 type config = {
@@ -44,10 +53,12 @@ type config = {
           the simulator differential always runs *)
   out_dir : string option;
       (** where to dump the shrunk counterexample on failure *)
+  oracle : oracle;  (** which oracle {!run} drives the cases through *)
 }
 
 val default_config : config
-(** 200 cases, seed 0, no fault, runtime differential on, no dump. *)
+(** 200 cases, seed 0, no fault, runtime differential on, no dump,
+    pipeline oracle. *)
 
 type outcome =
   | Passed of int  (** all cases passed; the count actually run *)
@@ -63,12 +74,38 @@ val check_case : ?fault:fault -> ?runtime:bool -> case -> (unit, string) result
     {e before} any execution, so a broken schedule is reported without
     ever running its programs. *)
 
+val check_comm_case :
+  ?fault:fault -> ?runtime:bool -> ?window:int -> case -> (unit, string) result
+(** The comm-opt differential oracle for one case: compile, optimize
+    with {!Mimd_codegen.Comm_opt.run} (coalescing [window]; when
+    omitted it defaults to [1 + iterations mod 4], a deterministic
+    function of the case so replays coalesce exactly as the original
+    run did),
+    require {!Validate.program} to accept the optimized program, then
+    compare it value-by-value — optimized vs unoptimized on the
+    simulator, optimized vs the sequential interpreter, and (with
+    [runtime]) optimized on the socket backend (via {!socket_backend})
+    and on real domains, every instance bit-for-bit.  With
+    [Keep_extra_send] injected the validator must {e reject} the
+    program, which surfaces as the case failing. *)
+
+val socket_backend :
+  (loop:Mimd_loop_ir.Ast.loop ->
+  program:Mimd_codegen.Program.t ->
+  (((int * int) * float) list, string) result)
+  option
+  ref
+(** The forked-socket executor, injected from above this library in
+    the dependency graph (mimd_dist cannot be a dependency here —
+    it already depends on mimd_check through mimd_server).  [mimdloop]
+    installs it at startup; [None] skips the socket leg. *)
+
 val run : config -> outcome
 (** Generate, check, shrink, dump. *)
 
 val render_case : case -> string
-(** The replayable file format: [#]-comment headers (processors, comm,
-    iterations) followed by the loop source. *)
+(** The replayable file format: [#]-comment headers (oracle,
+    processors, comm, iterations) followed by the loop source. *)
 
 val dump_case : ?name:string -> dir:string -> reason:string -> case -> string
 (** Write {!render_case} (plus the failure reason as a comment) under
@@ -77,7 +114,8 @@ val dump_case : ?name:string -> dir:string -> reason:string -> case -> string
 
 val load_case : string -> case
 (** Parse a dumped counterexample (or any loop-IR file; missing
-    headers default to 2 processors, k = 2, 10 iterations).
+    headers default to 2 processors, k = 2, 10 iterations, the
+    pipeline oracle).
     @raise Mimd_loop_ir.Parser.Error / [Sys_error] as reading does. *)
 
 val describe : outcome -> string

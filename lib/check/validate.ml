@@ -210,15 +210,19 @@ let program ?(capacity = Mimd_runtime.Value_run.default_channel_capacity)
         true
       in
       (match instr with
+      | Program.Send_pack { tags = []; _ } | Program.Recv_pack { tags = []; _ } ->
+        invalid_arg "Validate.program: empty pack"
       | Program.Compute _ -> advance ()
-      | Program.Send { tag; dst } ->
+      (* a pack is one frame: one queue slot, one delivery, named by
+         its head tag — the same accounting as the real meshes *)
+      | Program.Send { tag; dst } | Program.Send_pack { tags = tag :: _; dst } ->
         let q = queue j dst in
         if Queue.length q < capacity then begin
           Queue.push tag q;
           advance ()
         end
         else false (* channel full: a real bounded send would block here *)
-      | Program.Recv { tag; src } ->
+      | Program.Recv { tag; src } | Program.Recv_pack { tags = tag :: _; src } ->
         let st = stash_of j src in
         if Hashtbl.mem st tag then begin
           Hashtbl.remove st tag;

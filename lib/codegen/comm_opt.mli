@@ -1,0 +1,63 @@
+(** Synchronization-minimizing rewrite of generated programs.
+
+    {!From_schedule} emits one Send/Recv pair per cross-processor
+    dependence edge.  Most of that synchronization is transitively
+    redundant (Liao et al., arXiv:1211.4101): if a chain of other
+    retained messages, composed with same-processor program order,
+    already orders the producer's value before the consumer's first
+    use, the direct message can be dropped — its value rides the chain
+    as a piggybacked {e extra} on each hop's frame, landing in the
+    consumer's store no later than the original Recv did.  Retained
+    messages crossing the same processor pair inside an iteration
+    window are then coalesced into one multi-tag frame
+    ({!Program.Send_pack} / {!Program.Recv_pack}), sent at the latest
+    member position and received at the earliest; every tentative
+    merge is validated by a deterministic token simulation of the
+    rebuilt program (FIFO links with stash-style tag matching,
+    blocking recvs, operand-availability checks) and rolled back if
+    it would deadlock.
+
+    The rewrite never changes which processor computes what, so the
+    optimized program is value-differentially identical to its input
+    across the sequential interpreter, the simulator, the domain
+    runtime and the socket runtime — {!Mimd_check.Fuzz}'s comm mode
+    asserts exactly that. *)
+
+type stats = {
+  messages_before : int;  (** frames in the input program *)
+  messages_after : int;  (** frames in the optimized program *)
+  elided : int;  (** messages dropped by transitive reduction *)
+  coalesced : int;  (** frames saved by merging per-link messages *)
+  forwarded_values : int;
+      (** extra value slots piggybacked on retained frames to carry
+          the elided messages' payloads *)
+}
+
+type fault =
+  | Keep_extra_send
+      (** after optimizing, keep one frame's Send but drop its Recv —
+          the footprint of an unsound elision.  {!Program.check} (and
+          therefore {!Mimd_check.Validate.program}) must reject the
+          result; the CI probe asserts the oracle has teeth. *)
+
+val run : ?window:int -> ?fault:fault -> Program.t -> Program.t * stats
+(** Optimize a plain (pack-free) program.  [window] bounds the
+    iteration span a coalesced frame may cover: members satisfy
+    [max iter - min iter < window]; [1] merges only same-iteration
+    messages, [0] disables coalescing, and the default [4] amortizes
+    per-frame overhead across up to four iterations.  Without a
+    fault, the result is re-checked with {!Program.check} {e and}
+    token-simulated to completion; any defect or blockage raises
+    [Failure] — the pass refuses to emit a program it cannot prove
+    well-formed and deadlock-free.
+    @raise Invalid_argument on a negative window, an input that
+    already contains packs, or unmatched sends/recvs. *)
+
+val messages : Program.t -> int
+(** Frames sent: plain [Send]s plus [Send_pack]s, each counted once —
+    the quantity the paper's comm term [k] prices. *)
+
+val fingerprint : Program.t -> string
+(** FNV-1a digest of the instruction streams (same construction as
+    {!Full_sched.output_fingerprint}), pinning optimized codegen in
+    the golden corpus. *)

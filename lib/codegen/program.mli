@@ -15,6 +15,15 @@ type instr =
   | Compute of { node : int; iter : int }
   | Send of { tag : tag; dst : int }
   | Recv of { tag : tag; src : int }
+  | Send_pack of { tags : tag list; dst : int }
+      (** One frame carrying several instance values to the same
+          destination — emitted only by {!Comm_opt} (coalescing and
+          value forwarding); [From_schedule] never produces packs.
+          The head of [tags] identifies the frame on the wire. *)
+  | Recv_pack of { tags : tag list; src : int }
+      (** The matching multi-value receive: blocks until the frame
+          named by the head of [tags] arrives, then lands every
+          carried value at once. *)
 
 type t = {
   graph : Mimd_ddg.Graph.t;

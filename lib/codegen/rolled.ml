@@ -9,23 +9,26 @@ type block = { compute : Program.instr; recvs : Program.instr list; sends : Prog
 let blocks_of_program prog =
   let rec go acc pending = function
     | [] -> List.rev acc
-    | Program.Recv _ as r :: rest -> go acc (r :: pending) rest
+    | (Program.Recv _ | Program.Recv_pack _) as r :: rest -> go acc (r :: pending) rest
     | Program.Compute _ as c :: rest ->
       let sends, rest' =
         let rec take sends = function
-          | (Program.Send _ as s) :: tl -> take (s :: sends) tl
+          | ((Program.Send _ | Program.Send_pack _) as s) :: tl -> take (s :: sends) tl
           | tl -> (List.rev sends, tl)
         in
         take [] rest
       in
       go ({ compute = c; recvs = List.rev pending; sends } :: acc) [] rest'
-    | Program.Send _ :: rest -> go acc pending rest (* orphan send: keep going *)
+    | (Program.Send _ | Program.Send_pack _) :: rest ->
+      go acc pending rest (* orphan send: keep going *)
   in
   go [] [] prog
 
 let instr_iter = function
   | Program.Compute { iter; _ } -> iter
   | Program.Send { tag; _ } | Program.Recv { tag; _ } -> tag.iter
+  | Program.Send_pack { tags; _ } | Program.Recv_pack { tags; _ } ->
+    (List.hd tags).iter
 
 let symbolic names base instr =
   let idx iter =
@@ -38,12 +41,32 @@ let symbolic names base instr =
     Printf.sprintf "SEND %s[%s] -> PE%d" (names tag.node) (idx tag.iter) dst
   | Program.Recv { tag; src } ->
     Printf.sprintf "RECV %s[%s] <- PE%d" (names tag.node) (idx tag.iter) src
+  | Program.Send_pack { tags; dst } ->
+    Printf.sprintf "SEND {%s} -> PE%d"
+      (String.concat ","
+         (List.map (fun (t : Program.tag) -> Printf.sprintf "%s[%s]" (names t.node) (idx t.iter)) tags))
+      dst
+  | Program.Recv_pack { tags; src } ->
+    Printf.sprintf "RECV {%s} <- PE%d"
+      (String.concat ","
+         (List.map (fun (t : Program.tag) -> Printf.sprintf "%s[%s]" (names t.node) (idx t.iter)) tags))
+      src
 
 let concrete names instr =
   match instr with
   | Program.Compute { node; iter } -> Printf.sprintf "%s[%d]" (names node) iter
   | Program.Send { tag; dst } -> Printf.sprintf "SEND %s[%d] -> PE%d" (names tag.node) tag.iter dst
   | Program.Recv { tag; src } -> Printf.sprintf "RECV %s[%d] <- PE%d" (names tag.node) tag.iter src
+  | Program.Send_pack { tags; dst } ->
+    Printf.sprintf "SEND {%s} -> PE%d"
+      (String.concat ","
+         (List.map (fun (t : Program.tag) -> Printf.sprintf "%s[%d]" (names t.node) t.iter) tags))
+      dst
+  | Program.Recv_pack { tags; src } ->
+    Printf.sprintf "RECV {%s} <- PE%d"
+      (String.concat ","
+         (List.map (fun (t : Program.tag) -> Printf.sprintf "%s[%d]" (names t.node) t.iter) tags))
+      src
 
 let render (pattern : Pattern.t) =
   let d = pattern.iter_shift in

@@ -75,11 +75,11 @@ let close_all t = Array.iter close_row t.fds
 exception Link_down of { proc : int; peer : int; error : Wire.error }
 
 let chans t ~proc =
-  let stash : ((int * int) * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let stash : ((int * int) * int, Value_run.payload) Hashtbl.t = Hashtbl.create 64 in
   let traced = Trace.is_enabled () in
-  let send ~dst ~tag v =
+  let send ~dst ~tag (v : Value_run.payload) =
     let fd = link t ~proc ~peer:dst in
-    let payload : (int * int) * float = (tag, v) in
+    let payload : (int * int) * Value_run.payload = (tag, v) in
     if traced then
       Trace.span ~cat:"dist"
         ~args:[ ("dst", string_of_int dst) ]
@@ -88,7 +88,7 @@ let chans t ~proc =
     else Wire.write fd payload
   in
   let rec pull fd ~src ~tag =
-    match (Wire.read fd : ((int * int) * float, Wire.error) result) with
+    match (Wire.read fd : ((int * int) * Value_run.payload, Wire.error) result) with
     | Error error -> raise (Link_down { proc; peer = src; error })
     | Ok (t', v) ->
       if t' = tag then v

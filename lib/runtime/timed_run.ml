@@ -40,11 +40,13 @@ let run ?watchdog ?(channel_capacity = 256) ?(work = No_work) ~program () =
         let l = Graph.latency graph node in
         emulate work l;
         cycles := !cycles + l
-      | Program.Send { tag; dst } ->
+      | Program.Send { tag; dst } | Program.Send_pack { tags = tag :: _; dst } ->
         Mesh.send mesh ~src:j ~dst ~tag:(tag.Program.node, tag.Program.iter) ();
         incr sent
-      | Program.Recv { tag; src } ->
+      | Program.Recv { tag; src } | Program.Recv_pack { tags = tag :: _; src } ->
         Mesh.recv_tag mesh stash ~src ~dst:j ~tag:(tag.Program.node, tag.Program.iter)
+      | Program.Send_pack { tags = []; _ } | Program.Recv_pack { tags = []; _ } ->
+        invalid_arg "Timed_run: empty pack"
     in
     List.iter
       (fun instr ->
@@ -52,8 +54,8 @@ let run ?watchdog ?(channel_capacity = 256) ?(work = No_work) ~program () =
            let name =
              match instr with
              | Program.Compute _ -> "run.compute"
-             | Program.Send _ -> "run.send"
-             | Program.Recv _ -> "run.recv"
+             | Program.Send _ | Program.Send_pack _ -> "run.send"
+             | Program.Recv _ | Program.Recv_pack _ -> "run.recv"
            in
            Trace.span ~cat:"run" name (fun () -> exec instr)
          end

@@ -14,9 +14,13 @@ type outcome = {
   makespan_ns : float;
 }
 
+type payload =
+  | Single of float
+  | Pack of ((int * int) * float) array
+
 type chans = {
-  send : dst:int -> tag:int * int -> float -> unit;
-  recv : src:int -> tag:int * int -> float;
+  send : dst:int -> tag:int * int -> payload -> unit;
+  recv : src:int -> tag:int * int -> payload;
 }
 
 let default_channel_capacity = 256
@@ -70,12 +74,29 @@ let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () 
           | Some v -> v
           | None -> invalid_arg "Value_run: send before compute (malformed program)"
         in
-        chans.send ~dst ~tag:key v;
+        chans.send ~dst ~tag:key (Single v);
         incr sent
-    | Program.Recv { tag; src } ->
+    | Program.Send_pack { tags = (rep :: _) as tags; dst } ->
+      (* one frame, one message: the head tag names it on the wire *)
+      let pairs =
+        Array.of_list
+          (List.map
+             (fun (t : Program.tag) ->
+               match Hashtbl.find_opt local (t.node, t.iter) with
+               | Some v -> ((t.node, t.iter), v)
+               | None ->
+                 invalid_arg "Value_run: send before compute (malformed program)")
+             tags)
+      in
+      chans.send ~dst ~tag:(rep.Program.node, rep.Program.iter) (Pack pairs);
+      incr sent
+    | Program.Recv { tag; src } | Program.Recv_pack { tags = tag :: _; src } ->
       let key = (tag.Program.node, tag.Program.iter) in
-      let v = chans.recv ~src ~tag:key in
-      Hashtbl.replace local key v
+      (match chans.recv ~src ~tag:key with
+      | Single v -> Hashtbl.replace local key v
+      | Pack pairs -> Array.iter (fun (inst, v) -> Hashtbl.replace local inst v) pairs)
+    | Program.Send_pack { tags = []; _ } | Program.Recv_pack { tags = []; _ } ->
+      invalid_arg "Value_run: empty pack"
   in
   List.iter
     (fun instr ->
@@ -97,6 +118,18 @@ let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () 
                [
                  ("node", string_of_int tag.Program.node);
                  ("iter", string_of_int tag.Program.iter);
+                 ("src", string_of_int src);
+               ] )
+           | Program.Send_pack { tags; dst } ->
+             ( "run.send",
+               [
+                 ("tags", string_of_int (List.length tags));
+                 ("dst", string_of_int dst);
+               ] )
+           | Program.Recv_pack { tags; src } ->
+             ( "run.recv",
+               [
+                 ("tags", string_of_int (List.length tags));
                  ("src", string_of_int src);
                ] )
          in

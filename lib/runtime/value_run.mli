@@ -50,13 +50,19 @@ val default_channel_capacity : int
     is the same [worker] over forked processes and Unix-domain
     sockets. *)
 
+type payload =
+  | Single of float  (** a plain [Send]'s value *)
+  | Pack of ((int * int) * float) array
+      (** one coalesced/forwarding frame: every (instance, value) pair
+          it carries, head instance first ({!Mimd_codegen.Comm_opt}) *)
+
 type chans = {
-  send : dst:int -> tag:int * int -> float -> unit;
-      (** Ship the value for instance [tag] to processor [dst]; must
-          block when the link is at capacity. *)
-  recv : src:int -> tag:int * int -> float;
-      (** Block until the value for instance [tag] arrives from [src];
-          must stash out-of-order arrivals (same discipline as
+  send : dst:int -> tag:int * int -> payload -> unit;
+      (** Ship the frame for instance [tag] (a pack's head tag) to
+          processor [dst]; must block when the link is at capacity. *)
+  recv : src:int -> tag:int * int -> payload;
+      (** Block until the frame named [tag] arrives from [src]; must
+          stash out-of-order arrivals (same discipline as
           {!Mesh.recv_tag}). *)
 }
 (** What a channel backend provides to one worker. *)

@@ -52,6 +52,9 @@ type compiled = {
   sequential : int;
   percentage_parallelism : float;
   elapsed_ms : float;
+  comm : (int * int) option;
+      (* (messages before, after) when the service ran the
+         synchronization-minimizing rewrite over the generated programs *)
 }
 
 (* ---------------------------------------------------------------- *)
@@ -136,18 +139,23 @@ type reply =
 let reply_json = function
   | Compiled { id; result = r } ->
     Json.Obj
-      [
-        ("id", id);
-        ("ok", Json.Bool true);
-        ("tier", Json.String (tier_name r.tier));
-        ("makespan", Json.Int r.makespan);
-        ("processors", Json.Int r.processors);
-        ("pattern", Json.Bool r.pattern);
-        ("folded", Json.Bool r.folded);
-        ("sequential", Json.Int r.sequential);
-        ("percentage_parallelism", Json.Float r.percentage_parallelism);
-        ("elapsed_ms", Json.Float r.elapsed_ms);
-      ]
+      ([
+         ("id", id);
+         ("ok", Json.Bool true);
+         ("tier", Json.String (tier_name r.tier));
+         ("makespan", Json.Int r.makespan);
+         ("processors", Json.Int r.processors);
+         ("pattern", Json.Bool r.pattern);
+         ("folded", Json.Bool r.folded);
+         ("sequential", Json.Int r.sequential);
+         ("percentage_parallelism", Json.Float r.percentage_parallelism);
+         ("elapsed_ms", Json.Float r.elapsed_ms);
+       ]
+      @
+      match r.comm with
+      | None -> []
+      | Some (before, after) ->
+        [ ("messages", Json.Int before); ("messages_opt", Json.Int after) ])
   | Stats_reply { id; stats } ->
     Json.Obj [ ("id", id); ("ok", Json.Bool true); ("stats", stats) ]
   | Metrics_reply { id; text } ->

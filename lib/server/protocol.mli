@@ -19,7 +19,8 @@
       reply   ::= {"id": J, "ok": true, "tier": "memory"|"disk"|"computed",
                    "makespan": INT, "processors": INT, "pattern": BOOL,
                    "folded": BOOL, "sequential": INT,
-                   "percentage_parallelism": NUMBER, "elapsed_ms": NUMBER}
+                   "percentage_parallelism": NUMBER, "elapsed_ms": NUMBER,
+                   "messages": INT?, "messages_opt": INT?}
                 | {"id": J, "ok": true, "stats": {...}}
                 | {"id": J, "ok": true, "metrics": STRING}
                 | {"id": J, "ok": true, "pong": true}
@@ -78,6 +79,11 @@ type compiled = {
   sequential : int;  (** one-processor cycles, for the speedup *)
   percentage_parallelism : float;
   elapsed_ms : float;  (** service time of this request *)
+  comm : (int * int) option;
+      (** (messages before, messages after) when the service ran the
+          synchronization-minimizing rewrite ({!Mimd_codegen.Comm_opt})
+          over the generated programs; emitted as the ["messages"] /
+          ["messages_opt"] reply fields *)
 }
 
 type reply =

@@ -16,6 +16,7 @@ type t = {
   memory : Schedule_cache.t;
   disk : Disk_cache.t option;
   validate : bool;
+  comm_opt : int option;  (* coalescing window of the comm rewrite, when on *)
   mutex : Mutex.t;
   mutable requests : int;
   mutable errors : int;
@@ -40,7 +41,7 @@ type t = {
   h_queue_wait : Metrics.histogram;
 }
 
-let create ?(memory_capacity = 256) ?disk ?(validate = false) () =
+let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
   let metrics = Metrics.create () in
   let tiered name help tier =
     Metrics.counter ~help ~labels:[ ("tier", tier) ] metrics name
@@ -53,6 +54,7 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) () =
     memory = Schedule_cache.create ~capacity:memory_capacity ();
     disk;
     validate;
+    comm_opt;
     mutex = Mutex.create ();
     requests = 0;
     errors = 0;
@@ -129,6 +131,22 @@ let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
   let finish tier full =
     let makespan = Full_sched.parallel_time full in
     let sequential = Mimd_doacross.Sequential.time graph ~iterations in
+    (* The comm rewrite is priced per reply (cheap next to scheduling)
+       rather than cached: the cache keys schedules, not programs. *)
+    let comm =
+      match t.comm_opt with
+      | None -> None
+      | Some window -> (
+        match
+          Mimd_codegen.Comm_opt.run ~window
+            (Mimd_codegen.From_schedule.run full.Full_sched.schedule)
+        with
+        | exception _ -> None
+        | _, stats ->
+          Some
+            ( stats.Mimd_codegen.Comm_opt.messages_before,
+              stats.Mimd_codegen.Comm_opt.messages_after ))
+    in
     let elapsed_ms = now_ms () -. started in
     {
       result =
@@ -142,6 +160,7 @@ let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
           percentage_parallelism =
             Mimd_core.Metrics.percentage_parallelism ~sequential ~parallel:makespan;
           elapsed_ms;
+          comm;
         };
       full;
       graph;

@@ -25,10 +25,20 @@ type outcome = {
   graph : Mimd_ddg.Graph.t;
 }
 
-val create : ?memory_capacity:int -> ?disk:Disk_cache.t -> ?validate:bool -> unit -> t
+val create :
+  ?memory_capacity:int ->
+  ?disk:Disk_cache.t ->
+  ?validate:bool ->
+  ?comm_opt:int ->
+  unit ->
+  t
 (** [memory_capacity] defaults to 256 entries; no [disk] means tier 2
     is off; [validate] (default false) audits every fresh schedule
-    before it is cached. *)
+    before it is cached.  [comm_opt] (off by default) runs the
+    synchronization-minimizing rewrite ({!Mimd_codegen.Comm_opt.run}
+    with that coalescing window) over the programs generated from
+    every served schedule and reports the message-count delta in the
+    reply's [comm] field. *)
 
 val validate_default : t -> bool
 

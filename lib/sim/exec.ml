@@ -27,10 +27,14 @@ let make_key_fn program =
   let max_node = ref 0 and max_iter = ref 0 in
   Array.iter
     (List.iter (fun (instr : Program.instr) ->
-         match instr with
-         | Program.Send { tag; _ } | Program.Recv { tag; _ } ->
+         let scan (tag : Program.tag) =
            if tag.node > !max_node then max_node := tag.node;
            if tag.iter > !max_iter then max_iter := tag.iter
+         in
+         match instr with
+         | Program.Send { tag; _ } | Program.Recv { tag; _ } -> scan tag
+         | Program.Send_pack { tags; _ } | Program.Recv_pack { tags; _ } ->
+           List.iter scan tags
          | Program.Compute _ -> ()))
     program.Program.programs;
   let bits_for m =
@@ -100,7 +104,10 @@ let run ?(record = false) ~program ~links () =
           busy_cycles := !busy_cycles + Graph.latency graph node;
           st.todo <- rest;
           emit st.time j instr
-        | Program.Send { tag; dst } ->
+        | Program.Send { tag; dst } | Program.Send_pack { tags = tag :: _; dst }
+          ->
+          (* a pack is one frame on the link: one latency draw, one
+             message, identified by its head tag *)
           let l = Links.sample links ~src:j ~dst in
           let k = key ~node:tag.node ~iter:tag.iter ~src:j ~dst in
           Hashtbl.replace mailbox k (st.time + l);
@@ -113,7 +120,8 @@ let run ?(record = false) ~program ~links () =
             Hashtbl.remove waiting k;
             enqueue sleeper
           | None -> ())
-        | Program.Recv { tag; src } -> begin
+        | Program.Recv { tag; src } | Program.Recv_pack { tags = tag :: _; src }
+          -> begin
           let k = key ~node:tag.node ~iter:tag.iter ~src ~dst:j in
           match Hashtbl.find_opt mailbox k with
           | Some arrival ->
@@ -125,6 +133,9 @@ let run ?(record = false) ~program ~links () =
             Hashtbl.replace waiting k j;
             blocked := true
         end
+        | Program.Send_pack { tags = []; _ } | Program.Recv_pack { tags = []; _ }
+          ->
+          invalid_arg "Exec.run: empty pack"
       end
     done
   in
@@ -144,7 +155,8 @@ let run ?(record = false) ~program ~links () =
       Array.to_list procs
       |> List.mapi (fun j st ->
              match st.todo with
-             | Program.Recv { tag; src } :: _ ->
+             | Program.Recv { tag; src } :: _
+             | Program.Recv_pack { tags = tag :: _; src } :: _ ->
                Printf.sprintf "PE%d waits for %s[%d] from PE%d" j
                  (Graph.name graph tag.node) tag.iter src
              | _ -> Printf.sprintf "PE%d" j)

@@ -25,7 +25,8 @@ let render ?(max_cycles = 120) ?(cell_width = 3) ~graph ~processors events =
         let lat = Graph.latency graph node in
         let label = Printf.sprintf "%s%d" (Graph.name graph node) iter in
         mark ev.Exec.proc ~from:(ev.Exec.time - lat) ~until:ev.Exec.time label
-      | Program.Send _ | Program.Recv _ -> ())
+      | Program.Send _ | Program.Recv _ | Program.Send_pack _
+      | Program.Recv_pack _ -> ())
     events;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

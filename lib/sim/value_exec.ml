@@ -71,7 +71,13 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ~loop ~program 
      mirrors value-passing codegen (registers/messages, no shared
      memory) and cannot suffer stale-cell aliasing. *)
   let locals : (int * int, float) Hashtbl.t array = Array.init p (fun _ -> Hashtbl.create 256) in
-  let mailbox : (int * int * int * int, int * float) Hashtbl.t = Hashtbl.create 1024 in
+  (* A mailbox entry is one frame: its arrival cycle plus every
+     (instance, value) pair it carries — a plain Send carries one, a
+     Send_pack several (coalesced members and forwarded extras).  The
+     key is the frame's head tag. *)
+  let mailbox : (int * int * int * int, int * ((int * int) * float) array) Hashtbl.t =
+    Hashtbl.create 1024
+  in
   let values : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
   let messages = ref 0 and comm_cycles = ref 0 and busy_cycles = ref 0 in
   let initial_of array ~iter ~offset =
@@ -111,28 +117,44 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ~loop ~program 
           busy_cycles := !busy_cycles + Graph.latency graph node;
           st.todo <- rest;
           progressed := true
-        | Program.Send { tag; dst } ->
-          let l = Links.sample links ~src:j ~dst in
-          let v =
-            match Hashtbl.find_opt local (tag.Program.node, tag.Program.iter) with
-            | Some v -> v
-            | None -> invalid_arg "Value_exec: send before compute (malformed program)"
+        | Program.Send { tag; dst } | Program.Send_pack { tags = tag :: _; dst }
+          ->
+          let tags =
+            match instr with Program.Send_pack { tags; _ } -> tags | _ -> [ tag ]
           in
-          Hashtbl.replace mailbox (tag.Program.node, tag.Program.iter, j, dst) (st.time + l, v);
+          let l = Links.sample links ~src:j ~dst in
+          let payload =
+            Array.of_list
+              (List.map
+                 (fun (t : Program.tag) ->
+                   match Hashtbl.find_opt local (t.node, t.iter) with
+                   | Some v -> ((t.node, t.iter), v)
+                   | None ->
+                     invalid_arg
+                       "Value_exec: send before compute (malformed program)")
+                 tags)
+          in
+          Hashtbl.replace mailbox
+            (tag.Program.node, tag.Program.iter, j, dst)
+            (st.time + l, payload);
           incr messages;
           comm_cycles := !comm_cycles + l;
           st.todo <- rest;
           progressed := true
-        | Program.Recv { tag; src } -> begin
+        | Program.Recv { tag; src } | Program.Recv_pack { tags = tag :: _; src }
+          -> begin
           match Hashtbl.find_opt mailbox (tag.Program.node, tag.Program.iter, src, j) with
-          | Some (arrival, v) ->
+          | Some (arrival, payload) ->
             Hashtbl.remove mailbox (tag.Program.node, tag.Program.iter, src, j);
             st.time <- max st.time arrival;
-            Hashtbl.replace local (tag.Program.node, tag.Program.iter) v;
+            Array.iter (fun (inst, v) -> Hashtbl.replace local inst v) payload;
             st.todo <- rest;
             progressed := true
           | None -> blocked := true
         end
+        | Program.Send_pack { tags = []; _ } | Program.Recv_pack { tags = []; _ }
+          ->
+          invalid_arg "Value_exec: empty pack"
       end
     done;
     !progressed

@@ -60,9 +60,11 @@ module Ast = Mimd_loop_ir.Ast
 
 let loop_arrays = [| "A"; "B"; "C"; "D"; "E" |]
 
-let generate_loop ?(min_stmts = 2) ?(max_stmts = 6) ~seed () =
+let generate_loop ?(min_stmts = 2) ?(max_stmts = 6) ?(fanout = 0.0) ~seed () =
   if min_stmts < 1 || max_stmts < min_stmts then
     invalid_arg "Random_loop.generate_loop: bad statement bounds";
+  if fanout < 0.0 || fanout > 1.0 then
+    invalid_arg "Random_loop.generate_loop: fanout outside [0, 1]";
   let rng = Prng.create ~seed:(seed * 2 * 31 * 997) in
   let gen_ref () =
     let array = loop_arrays.(Prng.int rng (Array.length loop_arrays)) in
@@ -85,7 +87,14 @@ let generate_loop ?(min_stmts = 2) ?(max_stmts = 6) ~seed () =
      (flow at distance 0 or 1, by the Depend rules) and the DDG is
      weakly connected — a random rhs alone could leave constant-only
      statements isolated. *)
-  let rec build s prev acc =
+  (* The predecessor chain alone biases the DDG towards out-degree 1
+     (each value read once, by the next statement), which never
+     exercises fan-out shapes — diamonds, shared operands — in the
+     consumers.  [fanout] is the per-statement probability of one
+     extra read of a uniformly chosen {e earlier} writer's array; at
+     the default 0.0 the guard short-circuits before any PRNG draw, so
+     existing seeds generate byte-identical loops. *)
+  let rec build s prev written acc =
     if s = nstmts then List.rev acc
     else begin
       let array = loop_arrays.(Prng.int rng (Array.length loop_arrays)) in
@@ -96,7 +105,15 @@ let generate_loop ?(min_stmts = 2) ?(max_stmts = 6) ~seed () =
         | Some chained ->
           Ast.Binop (Ast.Add, Ast.Ref { array = chained; offset = -Prng.int rng 2 }, rhs)
       in
-      build (s + 1) (Some array) (Ast.Assign { array; offset = 0; rhs } :: acc)
+      let rhs =
+        if fanout > 0.0 && written <> [] && Prng.float rng 1.0 < fanout then begin
+          let back = List.nth written (Prng.int rng (List.length written)) in
+          Ast.Binop (Ast.Add, rhs, Ast.Ref { array = back; offset = -Prng.int rng 2 })
+        end
+        else rhs
+      in
+      build (s + 1) (Some array) (array :: written)
+        (Ast.Assign { array; offset = 0; rhs } :: acc)
     end
   in
-  { Ast.index = "i"; lo = "1"; hi = "n"; body = build 0 None [] }
+  { Ast.index = "i"; lo = "1"; hi = "n"; body = build 0 None [] []; }

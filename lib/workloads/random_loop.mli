@@ -34,12 +34,23 @@ val paper_seeds : int list
 (** 1..25 *)
 
 val generate_loop :
-  ?min_stmts:int -> ?max_stmts:int -> seed:int -> unit -> Mimd_loop_ir.Ast.loop
+  ?min_stmts:int ->
+  ?max_stmts:int ->
+  ?fanout:float ->
+  seed:int ->
+  unit ->
+  Mimd_loop_ir.Ast.loop
 (** A seeded random {e loop-IR program} (not just a graph): a flat
     loop of [min_stmts]..[max_stmts] (default 2..6) assignments over a
     small array pool, reads at offsets in [{-1, 0}] so dependence
     distances stay within the scheduler's [{0, 1}].  Each statement
     past the first reads its predecessor's array, so the dependence
     graph is always weakly connected (the scheduler's precondition) —
-    test-enforced, along with distances and latencies.  Deterministic
-    in [seed]; feeds the runtime/simulator differential tests. *)
+    test-enforced, along with distances and latencies.  The chain
+    alone biases the DDG towards out-degree 1; [fanout] (default 0.0,
+    in [0..1]) is the per-statement probability of one extra read of
+    an earlier writer's array, raising producer fan-out so diamond
+    dependence shapes appear.  At 0.0 no extra PRNG draws happen, so
+    loops for existing seeds are unchanged.  Deterministic in [seed];
+    feeds the runtime/simulator differential tests.
+    @raise Invalid_argument when [fanout] is outside [0..1]. *)

@@ -14,6 +14,7 @@ let () =
       ("full-sched", Test_full.suite);
       ("doacross", Test_doacross.suite);
       ("codegen", Test_codegen.suite);
+      ("comm-opt", Test_comm_opt.suite);
       ("sim", Test_sim.suite);
       ("loop-ir", Test_loop_ir.suite);
       ("lower", Test_lower.suite);

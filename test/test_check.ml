@@ -204,7 +204,15 @@ let test_hooks_route_validate_flags () =
 
 let test_fuzz_passes_on_sound_pipeline () =
   match
-    F.run { F.count = 25; seed = 3; fault = F.No_fault; runtime = false; out_dir = None }
+    F.run
+      {
+        F.count = 25;
+        seed = 3;
+        fault = F.No_fault;
+        runtime = false;
+        out_dir = None;
+        oracle = F.Pipeline;
+      }
   with
   | F.Passed n -> check_int "all cases ran" 25 n
   | F.Failed { reason; case; _ } ->
@@ -213,7 +221,15 @@ let test_fuzz_passes_on_sound_pipeline () =
 let test_fuzz_runtime_differential_smoke () =
   (* A few cases with the real-domain differential switched on. *)
   match
-    F.run { F.count = 6; seed = 9; fault = F.No_fault; runtime = true; out_dir = None }
+    F.run
+      {
+        F.count = 6;
+        seed = 9;
+        fault = F.No_fault;
+        runtime = true;
+        out_dir = None;
+        oracle = F.Pipeline;
+      }
   with
   | F.Passed _ -> ()
   | F.Failed { reason; _ } -> Alcotest.failf "runtime differential fuzz: %s" reason
@@ -231,6 +247,7 @@ let test_fuzz_catches_injected_violation () =
         fault = F.Hasten_dependent;
         runtime = false;
         out_dir = Some dir;
+        oracle = F.Pipeline;
       }
   with
   | F.Passed _ -> Alcotest.fail "injected dependence violations went undetected"
@@ -263,6 +280,7 @@ let test_case_file_round_trip () =
       processors = 3;
       comm = 1;
       iterations = 9;
+      oracle = F.Pipeline;
     }
   in
   let dir = Filename.get_temp_dir_name () in
@@ -290,6 +308,7 @@ let prop_case_files_replayable =
           processors = 2 + (seed mod 3);
           comm = seed mod 3;
           iterations = 4 + (seed mod 9);
+          oracle = F.Pipeline;
         }
       in
       let dir = Filename.get_temp_dir_name () in

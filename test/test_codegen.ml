@@ -59,7 +59,7 @@ let test_recv_precedes_use () =
                   | None -> ())
               (Graph.preds (fig7 ()) node)
           end
-          | Program.Send _ -> ())
+          | Program.Send _ | Program.Send_pack _ | Program.Recv_pack _ -> ())
         instrs)
     prog.Program.programs
 
@@ -72,7 +72,9 @@ let test_no_messages_single_proc () =
     (fun instrs ->
       List.iter
         (function
-          | Program.Send _ | Program.Recv _ -> Alcotest.fail "unexpected message"
+          | Program.Send _ | Program.Recv _ | Program.Send_pack _
+          | Program.Recv_pack _ ->
+            Alcotest.fail "unexpected message"
           | Program.Compute _ -> ())
         instrs)
     prog.Program.programs

@@ -216,8 +216,10 @@ let test_mesh_ping_pong () =
         Mesh_sock.retain_only mesh ~proc:1;
         let ch = Mesh_sock.chans mesh ~proc:1 in
         for i = 0 to 9 do
-          let v = ch.Value_run.recv ~src:0 ~tag:(0, i) in
-          ch.Value_run.send ~dst:0 ~tag:(1, i) (v *. 2.0)
+          match ch.Value_run.recv ~src:0 ~tag:(0, i) with
+          | Value_run.Single v ->
+            ch.Value_run.send ~dst:0 ~tag:(1, i) (Value_run.Single (v *. 2.0))
+          | Value_run.Pack _ -> raise Exit
         done;
         0
       with _ -> 1
@@ -225,16 +227,17 @@ let test_mesh_ping_pong () =
     Unix._exit code
   | pid ->
     let ch = Mesh_sock.chans mesh ~proc:0 in
+    let single = function Value_run.Single v -> v | Value_run.Pack _ -> nan in
     for i = 0 to 9 do
-      ch.Value_run.send ~dst:1 ~tag:(0, i) (float_of_int i)
+      ch.Value_run.send ~dst:1 ~tag:(0, i) (Value_run.Single (float_of_int i))
     done;
     (* read replies out of order: the stash must hold the rest *)
-    let v9 = ch.Value_run.recv ~src:1 ~tag:(1, 9) in
-    let v0 = ch.Value_run.recv ~src:1 ~tag:(1, 0) in
+    let v9 = single (ch.Value_run.recv ~src:1 ~tag:(1, 9)) in
+    let v0 = single (ch.Value_run.recv ~src:1 ~tag:(1, 0)) in
     check_bool "reply 9" true (v9 = 18.0);
     check_bool "reply 0" true (v0 = 0.0);
     for i = 1 to 8 do
-      let v = ch.Value_run.recv ~src:1 ~tag:(1, i) in
+      let v = single (ch.Value_run.recv ~src:1 ~tag:(1, i)) in
       check_bool (Printf.sprintf "reply %d" i) true (v = float_of_int (2 * i))
     done;
     Mesh_sock.close_all mesh;

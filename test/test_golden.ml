@@ -138,6 +138,44 @@ let test_corpus_fingerprints () =
   in
   check_int "every corpus file is pinned" (List.length corpus) (List.length lines)
 
+(* The comm-opt golden pins both the optimized programs (fingerprint)
+   and the message-count table (before->after) at the default window —
+   the same file the CI comm-opt fingerprint-diff step checks. *)
+let commopt_line_of_file path =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let g = (Mimd_loop_ir.Depend.analyze_string src).Mimd_loop_ir.Depend.graph in
+  let machine = Mimd_machine.Config.make ~processors:2 ~comm_estimate:2 in
+  let full = Mimd_core.Full_sched.run ~graph:g ~machine ~iterations:60 () in
+  let program = Mimd_codegen.From_schedule.run full.Mimd_core.Full_sched.schedule in
+  let opt, stats = Mimd_codegen.Comm_opt.run program in
+  Printf.sprintf "%s %d->%d"
+    (Mimd_codegen.Comm_opt.fingerprint opt)
+    stats.Mimd_codegen.Comm_opt.messages_before
+    stats.Mimd_codegen.Comm_opt.messages_after
+
+let test_corpus_commopt_fingerprints () =
+  let lines =
+    In_channel.with_open_text "goldens/fingerprints_commopt_p2_k2_n60.txt"
+      In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_bool "golden file non-empty" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ hex; counts; name ] ->
+        let path = Filename.concat "../examples/loops" name in
+        let got = commopt_line_of_file path in
+        check_string (name ^ ": deterministic") got (commopt_line_of_file path);
+        check_string (name ^ ": matches golden") (hex ^ " " ^ counts) got
+      | _ -> Alcotest.failf "malformed comm-opt golden line: %S" line)
+    lines;
+  let corpus =
+    Sys.readdir "../examples/loops" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".loop")
+  in
+  check_int "every corpus file is pinned" (List.length corpus) (List.length lines)
+
 let suite =
   [
     Alcotest.test_case "golden: fig1 classification" `Quick test_fig1_classification_text;
@@ -148,5 +186,7 @@ let suite =
     Alcotest.test_case "golden: grid headers" `Quick test_grid_headers;
     Alcotest.test_case "report: deterministic and complete" `Slow test_report_deterministic;
     Alcotest.test_case "golden: corpus schedule fingerprints" `Quick test_corpus_fingerprints;
+    Alcotest.test_case "golden: corpus comm-opt fingerprints" `Quick
+      test_corpus_commopt_fingerprints;
     prop_heavier_latencies_still_fine;
   ]
