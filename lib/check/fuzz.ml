@@ -20,6 +20,7 @@ type case = {
   comm : int;
   iterations : int;
   oracle : oracle;
+  matrix : bool;
 }
 
 type config = {
@@ -29,6 +30,7 @@ type config = {
   runtime : bool;
   out_dir : string option;
   oracle : oracle;
+  matrix : bool;
 }
 
 let default_config =
@@ -39,7 +41,32 @@ let default_config =
     runtime = true;
     out_dir = None;
     oracle = Pipeline;
+    matrix = false;
   }
+
+(* The per-link matrix of a matrix-mode case is a deterministic
+   function of the case — like the comm-opt window — so a dumped
+   counterexample replays through exactly the machine that failed
+   without the file having to carry a matrix.  Entries stay within
+   [0, comm] ([k] must remain the upper bound over every link) and the
+   matrix is asymmetric whenever [comm > 0]. *)
+let case_matrix (case : case) =
+  let p = case.processors in
+  Array.init p (fun i ->
+      Array.init p (fun j ->
+          if i = j then 0
+          else ((i * 31) + (j * 17) + case.iterations) mod (case.comm + 1)))
+
+let machine_of_case (case : case) =
+  let machine = Config.make ~processors:case.processors ~comm_estimate:case.comm in
+  if case.matrix then Config.with_matrix machine (case_matrix case) else machine
+
+let links_of_case (case : case) =
+  if case.matrix then
+    (* The simulated wire mirrors the calibrated pricing (latencies
+       clamped to >= 1 cycle so every message still takes time). *)
+    Links.matrix (Array.map (Array.map (max 1)) (case_matrix case))
+  else Links.fixed (max 1 case.comm)
 
 type outcome =
   | Passed of int
@@ -79,7 +106,7 @@ let check_case ?(fault = No_fault) ?(runtime = true) case =
       if Ast.is_flat case.loop then case.loop else Mimd_loop_ir.If_convert.run case.loop
     in
     let graph = (Depend.analyze loop).Depend.graph in
-    let machine = Config.make ~processors:case.processors ~comm_estimate:case.comm in
+    let machine = machine_of_case case in
     let full = Full_sched.run ~graph ~machine ~iterations:case.iterations () in
     let sched =
       match fault with
@@ -101,7 +128,7 @@ let check_case ?(fault = No_fault) ?(runtime = true) case =
     let program = Mimd_codegen.From_schedule.run sched in
     let* () = Validate.error_of ~names (Validate.program program) in
     (* Value differential on the simulator... *)
-    let sim = Value_exec.run ~loop ~program ~links:(Links.fixed (max 1 case.comm)) () in
+    let sim = Value_exec.run ~loop ~program ~links:(links_of_case case) () in
     let* () =
       Result.map_error (( ^ ) "simulator vs interpreter: ")
         (Value_exec.check_against_sequential ~loop ~iterations:case.iterations sim)
@@ -182,7 +209,7 @@ let check_comm_case ?(fault = No_fault) ?(runtime = true) ?window case =
       if Ast.is_flat case.loop then case.loop else Mimd_loop_ir.If_convert.run case.loop
     in
     let graph = (Depend.analyze loop).Depend.graph in
-    let machine = Config.make ~processors:case.processors ~comm_estimate:case.comm in
+    let machine = machine_of_case case in
     let full = Full_sched.run ~graph ~machine ~iterations:case.iterations () in
     let names = Graph.name graph in
     let program = Mimd_codegen.From_schedule.run full.Full_sched.schedule in
@@ -203,7 +230,7 @@ let check_comm_case ?(fault = No_fault) ?(runtime = true) ?window case =
           (( ^ ) "optimized program rejected: ")
           (Validate.error_of ~names (Validate.program opt))
       in
-      let links = Links.fixed (max 1 case.comm) in
+      let links = links_of_case case in
       let sim_base = Value_exec.run ~loop ~program ~links () in
       let sim_opt = Value_exec.run ~loop ~program:opt ~links () in
       let* () =
@@ -249,9 +276,10 @@ let render_case (case : case) =
      # processors: %d@\n\
      # comm: %d@\n\
      # iterations: %d@\n\
-     %a@."
-    (oracle_name case.oracle) case.processors case.comm case.iterations Ast.pp_loop
-    case.loop
+     %s%a@."
+    (oracle_name case.oracle) case.processors case.comm case.iterations
+    (if case.matrix then "# matrix: yes\n" else "")
+    Ast.pp_loop case.loop
 
 let sanitize_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
@@ -280,20 +308,17 @@ let load_case path =
       default
       (String.split_on_char '\n' src)
   in
-  let oracle =
-    if
-      List.exists
-        (fun line -> String.trim line = "# oracle: comm")
-        (String.split_on_char '\n' src)
-    then Comm
-    else Pipeline
+  let has line0 =
+    List.exists (fun line -> String.trim line = line0) (String.split_on_char '\n' src)
   in
+  let oracle = if has "# oracle: comm" then Comm else Pipeline in
   {
     loop = Parser.parse src;
     processors = header "processors" 2;
     comm = header "comm" 2;
     iterations = header "iterations" 10;
     oracle;
+    matrix = has "# matrix: yes";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -304,7 +329,7 @@ let load_case path =
    in {-1, 0}, so dependence distances stay in the scheduler's {0, 1}.
    Operators exclude division to keep the float differential free of
    NaN/infinity plumbing. *)
-let gen_case_for oracle =
+let gen_case_for ?(matrix = false) oracle =
   QCheck2.Gen.(
     let arrays = [| "A"; "B"; "C"; "D" |] in
     let gen_ref =
@@ -373,6 +398,7 @@ let gen_case_for oracle =
         comm;
         iterations;
         oracle;
+        matrix;
       })
 
 let print_case case =
@@ -398,13 +424,14 @@ let run cfg =
       false
   in
   let name =
-    match cfg.oracle with
+    (match cfg.oracle with
     | Pipeline -> "mimd-check cross-layer fuzz"
-    | Comm -> "mimd-check comm-opt differential fuzz"
+    | Comm -> "mimd-check comm-opt differential fuzz")
+    ^ if cfg.matrix then " (per-link matrix)" else ""
   in
   let cell =
     QCheck2.Test.make_cell ~name ~count:cfg.count ~print:print_case
-      (gen_case_for cfg.oracle) prop
+      (gen_case_for ~matrix:cfg.matrix cfg.oracle) prop
   in
   let result = QCheck2.Test.check_cell ~rand:(Random.State.make [| cfg.seed |]) cell in
   if QCheck2.TestResult.is_success result then Passed cfg.count
@@ -421,6 +448,7 @@ let run cfg =
               comm = 2;
               iterations = 1;
               oracle = cfg.oracle;
+              matrix = cfg.matrix;
             };
           reason = "fuzz failed without a recorded counterexample";
           file = None;

@@ -42,6 +42,11 @@ type case = {
   comm : int;  (** the paper's [k] *)
   iterations : int;  (** trip count for scheduling and execution *)
   oracle : oracle;  (** which oracle this case replays through *)
+  matrix : bool;
+      (** price (and simulate) communication with a calibrated per-link
+          matrix instead of the uniform scalar [k]; the matrix itself
+          is a deterministic function of the case (entries in
+          [\[0, comm\]], asymmetric), so replays need no extra state *)
 }
 
 type config = {
@@ -54,11 +59,12 @@ type config = {
   out_dir : string option;
       (** where to dump the shrunk counterexample on failure *)
   oracle : oracle;  (** which oracle {!run} drives the cases through *)
+  matrix : bool;  (** generate every case in per-link matrix mode *)
 }
 
 val default_config : config
 (** 200 cases, seed 0, no fault, runtime differential on, no dump,
-    pipeline oracle. *)
+    pipeline oracle, uniform scalar-[k] pricing. *)
 
 type outcome =
   | Passed of int  (** all cases passed; the count actually run *)
@@ -105,7 +111,8 @@ val run : config -> outcome
 
 val render_case : case -> string
 (** The replayable file format: [#]-comment headers (oracle,
-    processors, comm, iterations) followed by the loop source. *)
+    processors, comm, iterations, matrix mode) followed by the loop
+    source. *)
 
 val dump_case : ?name:string -> dir:string -> reason:string -> case -> string
 (** Write {!render_case} (plus the failure reason as a comment) under

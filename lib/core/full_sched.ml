@@ -77,7 +77,20 @@ let run_separate ~max_iterations ~graph:g ~machine ~iterations cls =
           ~procs:p_out ~base_proc:(p_cyc + p_in) ~iterations ~producer:core_lookup)
   in
   let total = p_cyc + p_in + p_out in
-  let full_machine = Config.make ~processors:total ~comm_estimate:machine.Config.comm_estimate in
+  (* The flow processors are new PEs a calibrated matrix has no
+     measurements for; price their links at k, the upper bound, and
+     keep the measured block for the cyclic PEs. *)
+  let full_machine =
+    let base = Config.make ~processors:total ~comm_estimate:machine.Config.comm_estimate in
+    match machine.Config.matrix with
+    | None -> base
+    | Some m ->
+      let p = Array.length m in
+      Config.with_matrix base
+        (Array.init total (fun i ->
+             Array.init total (fun j ->
+                 if i < p && j < p then m.(i).(j) else machine.Config.comm_estimate)))
+  in
   let schedule =
     Schedule.make ~graph:g ~machine:full_machine (cyclic_entries @ flow_in @ flow_out)
   in
@@ -130,15 +143,32 @@ let run_doall ~graph:g ~machine ~iterations cls =
     folded = false;
   }
 
-let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ?(validate = false)
-    ~graph ~machine ~iterations () =
-  if iterations <= 0 then invalid_arg "Full_sched.run: iterations <= 0";
-  if fold_tolerance < 0.0 then invalid_arg "Full_sched.run: negative fold_tolerance";
+(* The machine-independent prefix of the pipeline: unwinding to
+   distances in {0,1} and the Flow-in/Cyclic/Flow-out classification
+   depend only on the graph, never on [machine] or [iterations] — so a
+   k-only (or matrix-only) recompile can reuse them.  [prepare] is that
+   prefix, [finish] the rest; [run] is their composition and behaves
+   exactly as it always has. *)
+type prepared = {
+  unwound : Graph.t;
+  copies : int;
+  cls : Classify.t;
+}
+
+let prepare ~graph () =
   let mapping = Trace.span ~cat:"compile" "compile.unwind" (fun () -> Unwind.normalize graph) in
   let g = mapping.Unwind.graph in
-  let copies = mapping.Unwind.copies in
-  let iterations = (iterations + copies - 1) / copies in
   let cls = Trace.span ~cat:"compile" "compile.classify" (fun () -> Classify.run g) in
+  { unwound = g; copies = mapping.Unwind.copies; cls }
+
+let finish ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024)
+    ?(validate = false) ~prepared ~machine ~iterations () =
+  if iterations <= 0 then invalid_arg "Full_sched.run: iterations <= 0";
+  if fold_tolerance < 0.0 then invalid_arg "Full_sched.run: negative fold_tolerance";
+  let g = prepared.unwound in
+  let copies = prepared.copies in
+  let iterations = (iterations + copies - 1) / copies in
+  let cls = prepared.cls in
   let t =
     if Classify.is_doall cls then run_doall ~graph:g ~machine ~iterations cls
     else begin
@@ -168,6 +198,10 @@ let run ?(strategy = Auto) ?(fold_tolerance = 0.05) ?(max_iterations = 1024) ?(v
     | Error msg -> raise (Invalid_schedule msg)
   end;
   t
+
+let run ?strategy ?fold_tolerance ?max_iterations ?validate ~graph ~machine ~iterations () =
+  finish ?strategy ?fold_tolerance ?max_iterations ?validate ~prepared:(prepare ~graph ())
+    ~machine ~iterations ()
 
 let parallel_time t = Schedule.makespan t.schedule
 

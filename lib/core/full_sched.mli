@@ -49,6 +49,36 @@ type t = {
   folded : bool;  (** the Section-3 heuristic was applied *)
 }
 
+type prepared = {
+  unwound : Mimd_ddg.Graph.t;  (** the graph after {!Mimd_ddg.Unwind.normalize} *)
+  copies : int;  (** iterations of the original loop per unwound iteration *)
+  cls : Classify.t;
+}
+(** The machine-independent prefix of the pipeline: unwinding and the
+    Flow-in/Cyclic/Flow-out classification depend only on the graph.
+    A recompile that changes only the cost model (a [k] edit, a
+    calibrated matrix) or the trip count can reuse a [prepared] and
+    skip straight to Cyclic-sched — that is what
+    [Mimd_tune.Incr] caches. *)
+
+val prepare : graph:Mimd_ddg.Graph.t -> unit -> prepared
+(** Unwind and classify (traced as [compile.unwind] and
+    [compile.classify], exactly as {!run} does). *)
+
+val finish :
+  ?strategy:strategy ->
+  ?fold_tolerance:float ->
+  ?max_iterations:int ->
+  ?validate:bool ->
+  prepared:prepared ->
+  machine:Mimd_machine.Config.t ->
+  iterations:int ->
+  unit ->
+  t
+(** The rest of the pipeline: Cyclic-sched, Flow-in/Flow-out, fold
+    decision, optional validation.  [run] is literally
+    [finish ~prepared:(prepare ~graph ())]. *)
+
 val run :
   ?strategy:strategy ->
   ?fold_tolerance:float ->

@@ -90,6 +90,40 @@ let probe ?rounds ?(procs = 2) () =
   done;
   { cycle_ns; links = List.rev !links }
 
+(* The ordered variant probes both directions of every pair through
+   their own echo children, so a genuinely lopsided wire (or a NUMA
+   hop) shows up as m.(i).(j) <> m.(j).(i). *)
+let probe_ordered ?rounds ?(procs = 2) () =
+  if procs < 2 then invalid_arg "Linkprobe.probe_ordered: procs < 2";
+  let cycle_ns = calibrate_cycle_ns () in
+  let links = ref [] in
+  for i = 0 to procs - 1 do
+    for j = 0 to procs - 1 do
+      if i <> j then begin
+        let l = probe_one ?rounds ~a:i ~b:j () in
+        links := { l with effective_k = l.one_way_ns /. cycle_ns } :: !links
+      end
+    done
+  done;
+  { cycle_ns; links = List.rev !links }
+
+let processors t =
+  List.fold_left (fun acc l -> max acc (max l.a l.b + 1)) 0 t.links
+
+(* The full per-link effective-k matrix.  Symmetric probes (i < j
+   pairs) fill both directions with the same measurement; ordered
+   probes overwrite each direction with its own.  The diagonal is 0 —
+   same-processor communication is free in the machine model. *)
+let effective_k_matrix t =
+  let p = processors t in
+  let m = Array.make_matrix p p 0.0 in
+  List.iter
+    (fun l ->
+      if m.(l.b).(l.a) = 0.0 then m.(l.b).(l.a) <- l.effective_k)
+    t.links;
+  List.iter (fun l -> m.(l.a).(l.b) <- l.effective_k) t.links;
+  m
+
 let render ?assumed_k t =
   let b = Buffer.create 256 in
   Buffer.add_string b

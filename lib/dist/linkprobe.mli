@@ -30,8 +30,26 @@ val probe : ?rounds:int -> ?procs:int -> unit -> t
 (** Probe every link of a [procs]-processor mesh (default 2; all
     host-local links are physically identical, more procs mainly
     demonstrates the per-link shape).  [rounds] (default 200)
-    round-trips per link, median taken.
+    round-trips per link, median taken.  Unordered: only the [i < j]
+    pairs are probed and each measurement stands for both directions.
     @raise Invalid_argument when [procs < 2]. *)
+
+val probe_ordered : ?rounds:int -> ?procs:int -> unit -> t
+(** Like {!probe} but measures every {e ordered} pair through its own
+    echo child, so link asymmetry (NUMA hops, lopsided wires) survives
+    into {!effective_k_matrix}.  Twice the links, twice the time.
+    @raise Invalid_argument when [procs < 2]. *)
+
+val processors : t -> int
+(** Highest processor index mentioned by any probed link, plus one. *)
+
+val effective_k_matrix : t -> float array array
+(** The full per-link cost matrix in calibrated cycles:
+    [m.(src).(dst)] is the effective k of that direction.  Unordered
+    probes fill both directions of a pair with the same measurement;
+    ordered probes keep each direction's own.  Diagonal is 0.  This is
+    the raw material {!Mimd_tune.Calibrate} folds into the scheduler's
+    cost model. *)
 
 val render : ?assumed_k:int -> t -> string
 (** Human report; with [assumed_k] each line shows the scheduler's

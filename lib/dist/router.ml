@@ -6,6 +6,8 @@ module Server = Mimd_server.Server
 module Disk_cache = Mimd_server.Disk_cache
 module Metrics = Mimd_obs.Metrics
 module Trace = Mimd_obs.Trace
+module Calibrate = Mimd_tune.Calibrate
+module Drift = Mimd_tune.Drift
 
 type config = {
   workers : int;
@@ -87,6 +89,7 @@ type pending = {
   key : string;
   client : client;
   mutable attempts : int;
+  mutable sent_at : float;  (** dispatch time; feeds link calibration *)
 }
 
 type worker = {
@@ -110,6 +113,11 @@ type t = {
   inflight : int Atomic.t;
   stop : bool Atomic.t;
   death_mutex : Mutex.t;  (* serialises failover *)
+  (* Router->worker link costs (µs, EWMA over live round trips).  Node
+     [cfg.workers] is the router itself.  Refit on every failover so
+     the surviving links' picture never stays frozen at boot time. *)
+  mutable calib : Calibrate.t;
+  calib_mutex : Mutex.t;
   registry : Metrics.t;
   m_requests : Metrics.counter;
   m_shed : Metrics.counter;
@@ -234,6 +242,25 @@ let rec handle_worker_death t idx =
   end;
   Mutex.unlock t.death_mutex;
   if was_alive && not (Atomic.get t.stop) then begin
+    (* Failover used to leave the link-cost picture frozen at whatever
+       the fleet looked like before the death.  Refit it over the
+       surviving topology instead: drop every observation touching the
+       dead worker and re-seed the survivors' EWMA.  No fresh probe —
+       this process has live threads, so forking an echo child here is
+       off the table; the refit works from traffic already measured,
+       and the reader threads keep feeding it. *)
+    Drift.recalibrate ~metrics:t.registry
+      ~args:[ ("reason", "worker_death"); ("worker", string_of_int idx) ]
+      (fun () ->
+        Mutex.lock t.calib_mutex;
+        let old = Calibrate.measured t.calib in
+        let fresh = Calibrate.create ~procs:(Calibrate.procs t.calib) () in
+        Calibrate.observe fresh
+          (List.filter
+             (fun s -> s.Calibrate.src <> idx && s.Calibrate.dst <> idx)
+             (Calibrate.samples_of_matrix old));
+        t.calib <- fresh;
+        Mutex.unlock t.calib_mutex);
     (* Re-shard every request that was in flight on the dead worker:
        accepted requests are never dropped while any worker lives. *)
     Mutex.lock t.pending_mutex;
@@ -274,6 +301,7 @@ and dispatch t p =
       let w = t.workers.(idx) in
       Metrics.inc t.m_shard_hits.(idx);
       let rid = Atomic.fetch_and_add t.next_rid 1 in
+      p.sent_at <- Unix.gettimeofday ();
       Mutex.lock t.pending_mutex;
       Hashtbl.replace t.pending rid (idx, p);
       Mutex.unlock t.pending_mutex;
@@ -306,7 +334,7 @@ let reader_loop t idx =
           in
           match entry with
           | None -> () (* already failed over; a late duplicate *)
-          | Some (_, p) ->
+          | Some (wi, p) ->
             let restored =
               match reply_json with
               | Json.Obj fields ->
@@ -317,6 +345,13 @@ let reader_loop t idx =
               | other -> other
             in
             client_send p.client (Json.to_string restored);
+            if p.sent_at > 0.0 then begin
+              let cost = (Unix.gettimeofday () -. p.sent_at) *. 1e6 in
+              Mutex.lock t.calib_mutex;
+              Calibrate.observe t.calib
+                [ { Calibrate.src = Calibrate.procs t.calib - 1; dst = wi; cost } ];
+              Mutex.unlock t.calib_mutex
+            end;
             finish_request t));
         loop ())
   in
@@ -348,6 +383,26 @@ let stats_json t =
       ("shed", Json.Int (Metrics.counter_value t.m_shed));
       ("worker_deaths", Json.Int (Metrics.counter_value t.m_deaths));
       ("retries", Json.Int (Metrics.counter_value t.m_retries));
+      ("recalibrations", Json.Int (Drift.recalibrations ~metrics:t.registry ()));
+      ( "calibration",
+        (let updates, links, row =
+           Mutex.lock t.calib_mutex;
+           let m = Calibrate.measured t.calib in
+           let r =
+             (Calibrate.updates t.calib, Calibrate.observed_links t.calib,
+              m.(Calibrate.procs t.calib - 1))
+           in
+           Mutex.unlock t.calib_mutex;
+           r
+         in
+         Json.Obj
+           [
+             ("updates", Json.Int updates);
+             ("observed_links", Json.Int links);
+             ( "worker_rtt_us",
+               Json.List
+                 (List.init (Array.length t.workers) (fun i -> Json.Float row.(i))) );
+           ]) );
     ]
 
 let shutdown_fleet t =
@@ -438,7 +493,14 @@ let serve_client t fd =
               | exception Json.Parse_error _ -> Json.Null (* unreachable: it parsed above *)
             in
             dispatch t
-              { orig_id = id; request; key = shard_key params; client; attempts = 0 }
+              {
+                orig_id = id;
+                request;
+                key = shard_key params;
+                client;
+                attempts = 0;
+                sent_at = 0.0;
+              }
           end;
           loop ())
   in
@@ -478,6 +540,8 @@ let serve cfg =
         inflight = Atomic.make 0;
         stop = Atomic.make false;
         death_mutex = Mutex.create ();
+        calib = Calibrate.create ~procs:(cfg.workers + 1) ();
+        calib_mutex = Mutex.create ();
         registry;
         m_requests =
           Metrics.counter ~help:"Requests received by the router" registry

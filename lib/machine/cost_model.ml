@@ -1,0 +1,68 @@
+type t = Uniform of int | Matrix of int array array
+
+let copy_matrix m = Array.map Array.copy m
+
+let validate_matrix m =
+  let p = Array.length m in
+  if p < 1 then invalid_arg "Cost_model.matrix: empty matrix";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> p then
+        invalid_arg
+          (Printf.sprintf "Cost_model.matrix: row %d has %d entries, expected %d" i
+             (Array.length row) p);
+      Array.iteri
+        (fun j c ->
+          if c < 0 then
+            invalid_arg
+              (Printf.sprintf "Cost_model.matrix: negative cost %d at (%d,%d)" c i j))
+        row)
+    m
+
+let uniform k =
+  if k < 0 then invalid_arg "Cost_model.uniform: negative k";
+  Uniform k
+
+let matrix m =
+  validate_matrix m;
+  Matrix (copy_matrix m)
+
+let k_upper = function
+  | Uniform k -> k
+  | Matrix m ->
+    (* The scheduler's window sizing and per-edge clamp both need the
+       paper's k: the compile-time upper bound over every link. *)
+    Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 m
+
+let processors = function Uniform _ -> None | Matrix m -> Some (Array.length m)
+
+let equal a b =
+  match (a, b) with
+  | Uniform x, Uniform y -> x = y
+  | Matrix x, Matrix y -> x = y
+  | Uniform _, Matrix _ | Matrix _, Uniform _ -> false
+
+(* A short stable digest of the matrix contents for cache keys: uniform
+   models deliberately have no digest so existing (scalar-k) cache keys
+   stay byte-identical. *)
+let digest = function
+  | Uniform _ -> None
+  | Matrix m ->
+    let buf = Buffer.create 64 in
+    Array.iter
+      (fun row ->
+        Array.iter (fun c -> Buffer.add_string buf (string_of_int c ^ ",")) row;
+        Buffer.add_char buf ';')
+      m;
+    Some (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let pp ppf = function
+  | Uniform k -> Format.fprintf ppf "k=%d" k
+  | Matrix m ->
+    Format.fprintf ppf "matrix %dx%d (k_upper=%d):" (Array.length m) (Array.length m)
+      (k_upper (Matrix m));
+    Array.iteri
+      (fun i row ->
+        Format.fprintf ppf "@\n  %d ->" i;
+        Array.iter (fun c -> Format.fprintf ppf " %3d" c) row)
+      m

@@ -1,0 +1,41 @@
+(** Compile-time communication cost models.
+
+    The paper prices every cross-processor message with one scalar [k]
+    (Section 2.3's upper bound).  A calibrated machine can do better: an
+    asymmetric per-link latency matrix [m] where [m.(src).(dst)] is the
+    estimated cost of a message from processor [src] to processor
+    [dst].  [Uniform k] is exactly the paper's model and schedules
+    bit-identically to the historical scalar-[k] path; [Matrix m] is the
+    generalization {!Mimd_tune.Calibrate} derives from link probes and
+    runtime trace spans. *)
+
+type t =
+  | Uniform of int  (** the paper's scalar [k], >= 0 *)
+  | Matrix of int array array
+      (** square per-link cost matrix, [m.(src).(dst) >= 0]; the
+          diagonal is ignored (same-processor communication is free) *)
+
+val uniform : int -> t
+(** @raise Invalid_argument on a negative [k]. *)
+
+val matrix : int array array -> t
+(** Takes a defensive copy.
+    @raise Invalid_argument unless the matrix is square, non-empty and
+    non-negative. *)
+
+val k_upper : t -> int
+(** The scalar upper bound this model implies: [k] itself for
+    [Uniform k], the largest entry for [Matrix]. *)
+
+val processors : t -> int option
+(** The processor count a [Matrix] model is sized for; [None] for
+    [Uniform] (which fits any machine). *)
+
+val equal : t -> t -> bool
+
+val digest : t -> string option
+(** Stable hex digest of the matrix contents for cache keys; [None] for
+    [Uniform], so scalar-model cache keys are unchanged from the
+    pre-matrix era. *)
+
+val pp : Format.formatter -> t -> unit

@@ -70,8 +70,12 @@ let strategy_tag = function
   | Full_sched.Folded -> 'F'
   | Full_sched.Auto -> 'A'
 
-let fingerprint ?(strategy = Full_sched.Auto) ?(fold_tolerance = 0.05)
-    ?(max_iterations = 1024) ~graph ~machine ~iterations () =
+(* The graph-only prefix of the cache key: everything the
+   machine-independent pipeline stages (unwind + classify) read.  Two
+   compiles of the same loop at different k / matrix / trip count share
+   this prefix — which is exactly what lets [Mimd_tune.Incr] reuse the
+   prepared DDG and classification across them. *)
+let graph_fingerprint ~graph () =
   let b = Buffer.create 512 in
   Buffer.add_string b (string_of_int (Graph.node_count graph));
   List.iter
@@ -86,10 +90,32 @@ let fingerprint ?(strategy = Full_sched.Auto) ?(fold_tolerance = 0.05)
         (Printf.sprintf "|%d>%d@%d$%s" e.Graph.src e.Graph.dst e.Graph.distance
            (match e.Graph.cost with None -> "-" | Some c -> string_of_int c)))
     (List.sort compare (Graph.edges graph));
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let fingerprint ?(strategy = Full_sched.Auto) ?(fold_tolerance = 0.05)
+    ?(max_iterations = 1024) ~graph ~machine ~iterations () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (string_of_int (Graph.node_count graph));
+  List.iter
+    (fun (n : Graph.node) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%s~%d~%c" n.Graph.name n.Graph.latency (kind_tag n.Graph.kind)))
+    (Graph.nodes graph);
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%d>%d@%d$%s" e.Graph.src e.Graph.dst e.Graph.distance
+           (match e.Graph.cost with None -> "-" | Some c -> string_of_int c)))
+    (List.sort compare (Graph.edges graph));
   Buffer.add_string b
     (Printf.sprintf "|p%d|k%d|n%d|%c|f%h|m%d" machine.Config.processors
        machine.Config.comm_estimate iterations (strategy_tag strategy) fold_tolerance
        max_iterations);
+  (* Matrix-priced machines append the model digest; uniform machines
+     append nothing, keeping every pre-matrix key byte-identical. *)
+  (match Mimd_machine.Cost_model.digest (Config.model machine) with
+  | None -> ()
+  | Some d -> Buffer.add_string b ("|x" ^ d));
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let with_lock t f =

@@ -44,7 +44,16 @@ val fingerprint :
   unit ->
   string
 (** The hex digest used as cache key (exposed for tests, for logging
-    cache behaviour, and as the content address of the on-disk store). *)
+    cache behaviour, and as the content address of the on-disk store).
+    Machines priced with a calibrated matrix mix the model digest into
+    the key; uniform machines produce exactly the historical key. *)
+
+val graph_fingerprint : graph:Mimd_ddg.Graph.t -> unit -> string
+(** Digest of only what the machine-independent pipeline prefix
+    (unwind + classification) reads: the graph's nodes and edges.
+    Compiles of the same loop at different machine / trip-count share
+    this — the sub-key [Mimd_tune.Incr] caches prepared pipelines
+    under. *)
 
 val find : t -> key:string -> Mimd_core.Full_sched.t option
 (** Tier-1 lookup.  A hit bumps the [hits] counter and promotes the

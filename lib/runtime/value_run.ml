@@ -111,6 +111,7 @@ let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () 
                [
                  ("node", string_of_int tag.Program.node);
                  ("iter", string_of_int tag.Program.iter);
+                 ("pe", string_of_int j);
                  ("dst", string_of_int dst);
                ] )
            | Program.Recv { tag; src } ->
@@ -118,18 +119,21 @@ let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () 
                [
                  ("node", string_of_int tag.Program.node);
                  ("iter", string_of_int tag.Program.iter);
+                 ("pe", string_of_int j);
                  ("src", string_of_int src);
                ] )
            | Program.Send_pack { tags; dst } ->
              ( "run.send",
                [
                  ("tags", string_of_int (List.length tags));
+                 ("pe", string_of_int j);
                  ("dst", string_of_int dst);
                ] )
            | Program.Recv_pack { tags; src } ->
              ( "run.recv",
                [
                  ("tags", string_of_int (List.length tags));
+                 ("pe", string_of_int j);
                  ("src", string_of_int src);
                ] )
          in

@@ -3,6 +3,7 @@ module Schedule_cache = Mimd_runtime.Schedule_cache
 module Config = Mimd_machine.Config
 module Metrics = Mimd_obs.Metrics
 module Trace = Mimd_obs.Trace
+module Incr = Mimd_tune.Incr
 
 type error = { kind : Protocol.error_kind; message : string }
 
@@ -23,6 +24,7 @@ type t = {
   (* per-stage service latencies, milliseconds, newest first *)
   mutable parse_ms : float list;
   mutable schedule_ms : float list;
+  mutable schedule_incr_ms : float list;
   mutable validate_ms : float list;
   mutable total_ms : float list;
   (* Prometheus view of the same numbers (plus cache-tier counters),
@@ -36,6 +38,7 @@ type t = {
   m_miss_disk : Metrics.counter;
   h_parse : Metrics.histogram;
   h_schedule : Metrics.histogram;
+  h_schedule_incr : Metrics.histogram;
   h_validate : Metrics.histogram;
   h_total : Metrics.histogram;
   h_queue_wait : Metrics.histogram;
@@ -60,6 +63,7 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
     errors = 0;
     parse_ms = [];
     schedule_ms = [];
+    schedule_incr_ms = [];
     validate_ms = [];
     total_ms = [];
     metrics;
@@ -75,6 +79,7 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
     m_miss_disk = tiered "mimd_cache_misses_total" "Schedule-cache misses by tier" "disk";
     h_parse = stage "parse";
     h_schedule = stage "schedule";
+    h_schedule_incr = stage "schedule_incr";
     h_validate = stage "validate";
     h_total = stage "total";
     h_queue_wait =
@@ -109,12 +114,15 @@ let parse_loop source =
 let past deadline = match deadline with Some d -> Unix.gettimeofday () > d | None -> false
 
 let compute t ~graph ~machine ~iterations ~validate =
-  match Full_sched.run ~graph ~machine ~iterations () with
+  (* Prefix-sharing misses (same loop, different k / matrix /
+     iteration count — what the drift loop issues) reuse the prepared
+     DDG + classification and pay only Cyclic-sched and downstream. *)
+  match Incr.compile Incr.global ~graph ~machine ~iterations () with
   | exception Mimd_core.Cyclic_sched.No_pattern m ->
     err Protocol.Schedule "no pattern: %s" m
   | exception Invalid_argument m -> err Protocol.Schedule "%s" m
-  | full ->
-    if not validate then Ok (full, 0.0)
+  | full, outcome ->
+    if not validate then Ok (full, outcome, 0.0)
     else begin
       let t0 = now_ms () in
       let report = Mimd_check.Validate.full full in
@@ -122,7 +130,7 @@ let compute t ~graph ~machine ~iterations ~validate =
       with_lock t (fun () -> t.validate_ms <- dt :: t.validate_ms);
       Metrics.observe t.h_validate dt;
       match Mimd_check.Validate.error_of ~names:(Mimd_ddg.Graph.name graph) report with
-      | Ok () -> Ok (full, dt)
+      | Ok () -> Ok (full, outcome, dt)
       | Error m -> err Protocol.Validation "schedule rejected: %s" m
     end
 
@@ -190,10 +198,16 @@ let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
         let t0 = now_ms () in
         match compute t ~graph ~machine ~iterations ~validate with
         | Error e -> Error e
-        | Ok (full, validate_ms) ->
+        | Ok (full, outcome, validate_ms) ->
           let dt = now_ms () -. t0 -. validate_ms in
-          with_lock t (fun () -> t.schedule_ms <- dt :: t.schedule_ms);
-          Metrics.observe t.h_schedule dt;
+          Trace.instant ~args:[ ("prep", Incr.outcome_name outcome) ] "serve.prep";
+          (match outcome with
+          | Incr.Cold ->
+            with_lock t (fun () -> t.schedule_ms <- dt :: t.schedule_ms);
+            Metrics.observe t.h_schedule dt
+          | Incr.Incremental ->
+            with_lock t (fun () -> t.schedule_incr_ms <- dt :: t.schedule_incr_ms);
+            Metrics.observe t.h_schedule_incr dt);
           (* Only proven schedules are persisted (when validation is
              on, which it was just above for this very entry). *)
           Schedule_cache.add t.memory ~key full;
@@ -259,9 +273,15 @@ let latency_json samples =
       ]
 
 let stats_json ?pool t =
-  let requests, errors, parse_ms, schedule_ms, validate_ms, total_ms =
+  let requests, errors, parse_ms, schedule_ms, schedule_incr_ms, validate_ms, total_ms =
     with_lock t (fun () ->
-        (t.requests, t.errors, t.parse_ms, t.schedule_ms, t.validate_ms, t.total_ms))
+        ( t.requests,
+          t.errors,
+          t.parse_ms,
+          t.schedule_ms,
+          t.schedule_incr_ms,
+          t.validate_ms,
+          t.total_ms ))
   in
   let mem = Schedule_cache.stats t.memory in
   let memory_json =
@@ -309,12 +329,21 @@ let stats_json ?pool t =
       ("validate", Json.Bool t.validate);
       ("memory_cache", memory_json);
       ("disk_cache", disk_json);
+      ( "incr_prep",
+        (let s = Incr.stats Incr.global in
+         Json.Obj
+           [
+             ("hits", Json.Int s.Incr.hits);
+             ("misses", Json.Int s.Incr.misses);
+             ("entries", Json.Int s.Incr.entries);
+           ]) );
       ("pool", pool_json);
       ( "latency",
         Json.Obj
           [
             ("parse", latency_json parse_ms);
             ("schedule", latency_json schedule_ms);
+            ("schedule_incr", latency_json schedule_incr_ms);
             ("validate", latency_json validate_ms);
             ("total", latency_json total_ms);
           ] );
@@ -345,6 +374,12 @@ let metrics_text ?pool t =
     let s = Disk_cache.stats d in
     g "mimd_cache_disk_stores" "Schedules persisted to the disk tier"
       (float_of_int s.Disk_cache.stores));
+  (let s = Incr.stats Incr.global in
+   g "mimd_tune_prep_hits" "Prepared-prefix reuses (incremental recompiles)"
+     (float_of_int s.Incr.hits);
+   g "mimd_tune_prep_misses" "Prepared-prefix misses (cold compiles)"
+     (float_of_int s.Incr.misses);
+   g "mimd_tune_prep_entries" "Prepared prefixes cached" (float_of_int s.Incr.entries));
   (match pool with
   | None -> ()
   | Some p ->

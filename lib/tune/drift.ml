@@ -1,0 +1,93 @@
+module Config = Mimd_machine.Config
+module Trace = Mimd_obs.Trace
+module Metrics = Mimd_obs.Metrics
+
+type policy = { threshold : float; min_links : int }
+
+let default_policy = { threshold = 2.0; min_links = 1 }
+
+let policy ?(threshold = default_policy.threshold) ?(min_links = default_policy.min_links)
+    () =
+  if not (threshold >= 1.0) then invalid_arg "Drift.policy: threshold < 1";
+  if min_links < 1 then invalid_arg "Drift.policy: min_links < 1";
+  { threshold; min_links }
+
+type decision = {
+  max_ratio : float;
+  worst_link : (int * int) option;
+  links_compared : int;
+  drifted : bool;
+}
+
+let priced machine ~src ~dst =
+  match machine.Config.matrix with
+  | Some m when src < Array.length m && dst < Array.length m -> m.(src).(dst)
+  | Some _ | None -> machine.Config.comm_estimate
+
+(* How far is the live schedule's pricing from the wire?  Per measured
+   link the ratio is taken in whichever direction is off (a link
+   priced 2 that costs 13 drifts exactly like one priced 13 that
+   costs 2 — both mis-schedule), and the worst link decides. *)
+let check ?(policy = default_policy) ~machine ~measured () =
+  let p = Array.length measured in
+  let max_ratio = ref 0.0 in
+  let worst = ref None in
+  let compared = ref 0 in
+  for src = 0 to p - 1 do
+    for dst = 0 to min p (Array.length measured.(src)) - 1 do
+      if src <> dst then begin
+        let m = measured.(src).(dst) in
+        if Float.is_finite m && m > 0.0 then begin
+          incr compared;
+          let priced = float_of_int (max 1 (priced machine ~src ~dst)) in
+          let m = Float.max m 1.0 in
+          let ratio = Float.max (m /. priced) (priced /. m) in
+          if ratio > !max_ratio then begin
+            max_ratio := ratio;
+            worst := Some (src, dst)
+          end
+        end
+      end
+    done
+  done;
+  {
+    max_ratio = !max_ratio;
+    worst_link = !worst;
+    links_compared = !compared;
+    drifted = !compared >= policy.min_links && !max_ratio > policy.threshold;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Observability: mimd_tune_* series and the recalibration span.       *)
+
+let note ?(metrics = Metrics.default) d =
+  Metrics.inc
+    (Metrics.counter
+       ~help:"Drift checks run (measured per-link cost vs the cost the live schedule was priced at)"
+       metrics "mimd_tune_drift_checks_total");
+  Metrics.set
+    (Metrics.gauge ~help:"Worst per-link measured/priced cost ratio at the last drift check"
+       metrics "mimd_tune_drift_ratio")
+    d.max_ratio;
+  if d.drifted then
+    Metrics.inc
+      (Metrics.counter ~help:"Drift checks that crossed the recalibration threshold"
+         metrics "mimd_tune_drift_detected_total")
+
+let recalibrations ?(metrics = Metrics.default) () =
+  Metrics.counter_value (Metrics.counter metrics "mimd_tune_recalibrations_total")
+
+let recalibrate ?(metrics = Metrics.default) ?(args = []) f =
+  Metrics.inc
+    (Metrics.counter
+       ~help:"Schedules recompiled with a freshly calibrated cost model and swapped in"
+       metrics "mimd_tune_recalibrations_total");
+  Trace.span ~cat:"tune" ~args "tune.recalibrate" f
+
+let describe d =
+  Printf.sprintf "drift: %d link(s) compared, worst ratio %.2f%s%s" d.links_compared
+    d.max_ratio
+    (match d.worst_link with
+    | Some (s, t) -> Printf.sprintf " (PE%d -> PE%d)" s t
+    | None -> "")
+    (if d.drifted then " — RECALIBRATE" else "")

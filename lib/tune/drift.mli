@@ -1,0 +1,54 @@
+(** The closed loop's trigger: is the live schedule priced at costs
+    the wire no longer exhibits?
+
+    A drift check compares a measured per-link cost matrix (from
+    {!Calibrate} or a fresh probe) against what the current machine
+    model prices each link at.  The worst per-link ratio — taken in
+    whichever direction is off — crosses the policy threshold, and the
+    caller recompiles with the calibrated model (through {!Incr}, so
+    the DDG and classification are reused) and swaps the schedule,
+    wrapped in {!recalibrate} so the [tune.recalibrate] span and the
+    [mimd_tune_*] series record the event. *)
+
+type policy = { threshold : float; min_links : int }
+
+val default_policy : policy
+(** Ratio threshold 2.0, at least 1 measured link. *)
+
+val policy : ?threshold:float -> ?min_links:int -> unit -> policy
+(** @raise Invalid_argument on [threshold < 1] or [min_links < 1]. *)
+
+type decision = {
+  max_ratio : float;  (** worst measured/priced (or priced/measured) ratio *)
+  worst_link : (int * int) option;  (** (src, dst) of that worst link *)
+  links_compared : int;
+  drifted : bool;  (** past the threshold with enough links measured *)
+}
+
+val check :
+  ?policy:policy ->
+  machine:Mimd_machine.Config.t ->
+  measured:float array array ->
+  unit ->
+  decision
+(** Compare every finite positive off-diagonal entry of [measured]
+    (in abstract cycles) against the machine's priced cost for that
+    link (matrix entry, or the uniform [k]).  Measured costs below one
+    cycle are clamped to 1, as the scheduler could never price finer. *)
+
+val note : ?metrics:Mimd_obs.Metrics.t -> decision -> unit
+(** Record the check: bumps [mimd_tune_drift_checks_total], sets the
+    [mimd_tune_drift_ratio] gauge, and bumps
+    [mimd_tune_drift_detected_total] when [drifted]. *)
+
+val recalibrate :
+  ?metrics:Mimd_obs.Metrics.t -> ?args:(string * string) list -> (unit -> 'a) -> 'a
+(** Run the recompile-and-swap under a [tune.recalibrate] trace span,
+    bumping [mimd_tune_recalibrations_total] first. *)
+
+val recalibrations : ?metrics:Mimd_obs.Metrics.t -> unit -> int
+(** Value of that counter in the given registry. *)
+
+val describe : decision -> string
+(** One human line, e.g.
+    ["drift: 2 link(s) compared, worst ratio 6.50 (PE0 -> PE1) — RECALIBRATE"]. *)

@@ -32,5 +32,6 @@ let () =
       ("check", Test_check.suite);
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
+      ("tune", Test_tune.suite);
       ("cli", Test_cli.suite);
     ]

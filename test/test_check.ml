@@ -212,11 +212,32 @@ let test_fuzz_passes_on_sound_pipeline () =
         runtime = false;
         out_dir = None;
         oracle = F.Pipeline;
+        matrix = false;
       }
   with
   | F.Passed n -> check_int "all cases ran" 25 n
   | F.Failed { reason; case; _ } ->
     Alcotest.failf "sound pipeline failed fuzz: %s\n%s" reason (F.render_case case)
+
+let test_fuzz_matrix_differential () =
+  (* The calibrated-machine differential: every case is priced (and
+     simulated) with an asymmetric per-link matrix, and the values must
+     still match the sequential interpreter bit for bit. *)
+  match
+    F.run
+      {
+        F.count = 25;
+        seed = 5;
+        fault = F.No_fault;
+        runtime = false;
+        out_dir = None;
+        oracle = F.Pipeline;
+        matrix = true;
+      }
+  with
+  | F.Passed n -> check_int "all matrix cases ran" 25 n
+  | F.Failed { reason; case; _ } ->
+    Alcotest.failf "matrix-mode pipeline failed fuzz: %s\n%s" reason (F.render_case case)
 
 let test_fuzz_runtime_differential_smoke () =
   (* A few cases with the real-domain differential switched on. *)
@@ -229,6 +250,7 @@ let test_fuzz_runtime_differential_smoke () =
         runtime = true;
         out_dir = None;
         oracle = F.Pipeline;
+        matrix = false;
       }
   with
   | F.Passed _ -> ()
@@ -248,6 +270,7 @@ let test_fuzz_catches_injected_violation () =
         runtime = false;
         out_dir = Some dir;
         oracle = F.Pipeline;
+        matrix = false;
       }
   with
   | F.Passed _ -> Alcotest.fail "injected dependence violations went undetected"
@@ -281,6 +304,7 @@ let test_case_file_round_trip () =
       comm = 1;
       iterations = 9;
       oracle = F.Pipeline;
+      matrix = true;
     }
   in
   let dir = Filename.get_temp_dir_name () in
@@ -291,6 +315,7 @@ let test_case_file_round_trip () =
   check_int "processors" case.F.processors back.F.processors;
   check_int "comm" case.F.comm back.F.comm;
   check_int "iterations" case.F.iterations back.F.iterations;
+  check_bool "matrix mode survives the round trip" case.F.matrix back.F.matrix;
   check_string "loop"
     (Format.asprintf "%a" Mimd_loop_ir.Ast.pp_loop case.F.loop)
     (Format.asprintf "%a" Mimd_loop_ir.Ast.pp_loop back.F.loop)
@@ -309,6 +334,7 @@ let prop_case_files_replayable =
           comm = seed mod 3;
           iterations = 4 + (seed mod 9);
           oracle = F.Pipeline;
+          matrix = seed mod 2 = 0;
         }
       in
       let dir = Filename.get_temp_dir_name () in
@@ -319,6 +345,7 @@ let prop_case_files_replayable =
       back.F.processors = case.F.processors
       && back.F.comm = case.F.comm
       && back.F.iterations = case.F.iterations
+      && back.F.matrix = case.F.matrix
       && Format.asprintf "%a" Mimd_loop_ir.Ast.pp_loop back.F.loop
          = Format.asprintf "%a" Mimd_loop_ir.Ast.pp_loop case.F.loop)
 
@@ -338,6 +365,7 @@ let suite =
     Alcotest.test_case "validator: capacity guard" `Quick test_protocol_capacity_guard;
     Alcotest.test_case "validator: hooks route ~validate" `Quick test_hooks_route_validate_flags;
     Alcotest.test_case "fuzz: sound pipeline passes" `Quick test_fuzz_passes_on_sound_pipeline;
+    Alcotest.test_case "fuzz: matrix-mode differential" `Quick test_fuzz_matrix_differential;
     Alcotest.test_case "fuzz: runtime differential smoke" `Quick
       test_fuzz_runtime_differential_smoke;
     Alcotest.test_case "fuzz: injected violation caught (negative)" `Quick

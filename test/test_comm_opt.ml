@@ -295,6 +295,7 @@ let test_comm_fuzz_smoke () =
         runtime = false;
         out_dir = None;
         oracle = F.Comm;
+        matrix = false;
       }
   with
   | F.Passed n -> check_int "cases" 25 n
