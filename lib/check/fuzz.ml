@@ -8,11 +8,12 @@ module Depend = Mimd_loop_ir.Depend
 module Value_exec = Mimd_sim.Value_exec
 module Links = Mimd_sim.Links
 module Value_run = Mimd_runtime.Value_run
+module Exec_compiled = Mimd_runtime.Exec_compiled
 module Watchdog = Mimd_runtime.Watchdog
 
 type fault = No_fault | Hasten_dependent | Keep_extra_send
 
-type oracle = Pipeline | Comm
+type oracle = Pipeline | Comm | Exec
 
 type case = {
   loop : Ast.loop;
@@ -148,6 +149,56 @@ let check_case ?(fault = No_fault) ?(runtime = true) case =
   with e -> Error ("exception: " ^ Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
+(* The compiled-execution oracle: compiled ≡ interpreted ≡ sequential  *)
+
+(* Every case runs the same program through the sequential interpreter
+   (via the simulator's check), the interpreted domain runtime and the
+   compiled domain runtime, and requires the full instance-value sets
+   bit-identical.  The comm-opt rewrite then runs over the program and
+   the optimized form repeats the compiled-vs-interpreted comparison —
+   that is what pushes Send_pack/Recv_pack frames (slot-array delivery)
+   through the compiled executor on every case that coalesces. *)
+let check_exec_case ?(runtime = true) case =
+  try
+    let loop =
+      if Ast.is_flat case.loop then case.loop else Mimd_loop_ir.If_convert.run case.loop
+    in
+    let graph = (Depend.analyze loop).Depend.graph in
+    let machine = machine_of_case case in
+    let full = Full_sched.run ~graph ~machine ~iterations:case.iterations () in
+    let names = Graph.name graph in
+    let program = Mimd_codegen.From_schedule.run full.Full_sched.schedule in
+    let* () = Validate.error_of ~names (Validate.program program) in
+    let sim = Value_exec.run ~loop ~program ~links:(links_of_case case) () in
+    let* () =
+      Result.map_error (( ^ ) "simulator vs interpreter: ")
+        (Value_exec.check_against_sequential ~loop ~iterations:case.iterations sim)
+    in
+    if not runtime then Ok ()
+    else begin
+      let watchdog = Watchdog.config ~timeout:30.0 () in
+      let differential program =
+        let interp = Value_run.run ~watchdog ~loop ~program () in
+        let compiled = Exec_compiled.run ~watchdog ~loop ~program () in
+        let* () =
+          Result.map_error (( ^ ) "compiled runtime vs interpreter: ")
+            (Value_run.check_against_sequential ~loop ~iterations:case.iterations
+               compiled)
+        in
+        Result.map_error (( ^ ) "compiled vs interpreted runtime: ")
+          (compare_instances ~sim:interp.Value_run.instance_values
+             ~rt:compiled.Value_run.instance_values)
+      in
+      let* () = differential program in
+      let window = 1 + (case.iterations mod 4) in
+      match Mimd_codegen.Comm_opt.run ~window program with
+      | exception Failure m -> Error ("comm-opt self-check: " ^ m)
+      | opt, _stats ->
+        Result.map_error (( ^ ) "optimized program: ") (differential opt)
+    end
+  with e -> Error ("exception: " ^ Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
 (* The comm-opt oracle: optimized vs unoptimized, all executors        *)
 
 (* The socket backend lives above this library in the dependency graph
@@ -267,7 +318,7 @@ let check_comm_case ?(fault = No_fault) ?(runtime = true) ?window case =
 (* ------------------------------------------------------------------ *)
 (* Replayable counterexample files                                     *)
 
-let oracle_name = function Pipeline -> "pipeline" | Comm -> "comm"
+let oracle_name = function Pipeline -> "pipeline" | Comm -> "comm" | Exec -> "exec"
 
 let render_case (case : case) =
   Format.asprintf
@@ -311,7 +362,11 @@ let load_case path =
   let has line0 =
     List.exists (fun line -> String.trim line = line0) (String.split_on_char '\n' src)
   in
-  let oracle = if has "# oracle: comm" then Comm else Pipeline in
+  let oracle =
+    if has "# oracle: comm" then Comm
+    else if has "# oracle: exec" then Exec
+    else Pipeline
+  in
   {
     loop = Parser.parse src;
     processors = header "processors" 2;
@@ -357,13 +412,14 @@ let gen_case_for ?(matrix = false) oracle =
          let* rhs = gen_expr 2 in
          return (Ast.Assign { array = arrays.(arr); offset = 0; rhs }))
     in
-    (* The comm oracle wants fan-out: extra reads of earlier writers
-       create the transitive (diamond) dependence shapes the elision
-       rewrite targets, which a pure statement chain never produces. *)
+    (* The comm and exec oracles want fan-out: extra reads of earlier
+       writers create transitive (diamond) dependence shapes a pure
+       statement chain never produces — elision fodder for comm-opt,
+       and pack-bearing programs for the compiled executor. *)
     let* body =
       match oracle with
       | Pipeline -> return body
-      | Comm ->
+      | Comm | Exec ->
         let rec widen earlier acc = function
           | [] -> return (List.rev acc)
           | Ast.Assign { array; offset; rhs } :: rest ->
@@ -416,6 +472,7 @@ let run cfg =
       match case.oracle with
       | Pipeline -> check_case ~fault:cfg.fault ~runtime:cfg.runtime case
       | Comm -> check_comm_case ~fault:cfg.fault ~runtime:cfg.runtime case
+      | Exec -> check_exec_case ~runtime:cfg.runtime case
     in
     match result with
     | Ok () -> true
@@ -426,7 +483,8 @@ let run cfg =
   let name =
     (match cfg.oracle with
     | Pipeline -> "mimd-check cross-layer fuzz"
-    | Comm -> "mimd-check comm-opt differential fuzz")
+    | Comm -> "mimd-check comm-opt differential fuzz"
+    | Exec -> "mimd-check compiled-exec differential fuzz")
     ^ if cfg.matrix then " (per-link matrix)" else ""
   in
   let cell =

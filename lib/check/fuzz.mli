@@ -35,6 +35,9 @@ type fault =
 type oracle =
   | Pipeline  (** the cross-layer oracle of {!check_case} *)
   | Comm  (** the comm-opt differential oracle of {!check_comm_case} *)
+  | Exec
+      (** the compiled-execution differential oracle of
+          {!check_exec_case} *)
 
 type case = {
   loop : Mimd_loop_ir.Ast.loop;  (** flat, distances in [{0, 1}] *)
@@ -79,6 +82,18 @@ val check_case : ?fault:fault -> ?runtime:bool -> case -> (unit, string) result
     returned as [Error].  With a fault injected, validation runs
     {e before} any execution, so a broken schedule is reported without
     ever running its programs. *)
+
+val check_exec_case : ?runtime:bool -> case -> (unit, string) result
+(** The compiled-execution differential oracle for one case: compile,
+    then (with [runtime]) run the program through both domain
+    executors — the interpreted {!Mimd_runtime.Value_run} and the
+    compiled {!Mimd_runtime.Exec_compiled} — requiring both to match
+    the sequential interpreter and each other, every instance value
+    bit-for-bit; the comm-opt rewrite (window [1 + iterations mod 4],
+    deterministic for replay) then runs and the optimized, pack-bearing
+    program repeats the compiled-vs-interpreted comparison.  Spawns
+    domains in-process: in a combined run it must come after anything
+    that forks. *)
 
 val check_comm_case :
   ?fault:fault -> ?runtime:bool -> ?window:int -> case -> (unit, string) result

@@ -53,10 +53,18 @@ let describe = function
    its socket run before any in-domain comparison and why the dist
    test suite runs first. *)
 let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0)
-    ?channel_capacity ?sabotage ~loop ~program () =
+    ?channel_capacity ?sabotage ?(exec = `Compiled) ~loop ~program () =
   if not (Ast.is_flat loop) then invalid_arg "Runner.run: loop must be flat";
   if List.length (Ast.assignments loop) <> Graph.node_count program.Program.graph then
     invalid_arg "Runner.run: statement/node count mismatch";
+  (* Lower once in the parent; the fork hands every child the shared
+     immutable compiled form for free. *)
+  let lowered =
+    match exec with
+    | `Compiled -> Some (Mimd_runtime.Lower.run ~loop ~program ())
+    | `Compiled_form l -> Some l
+    | `Interp -> None
+  in
   (* A child that died mid-frame must cost an EPIPE, not a fatal
      SIGPIPE in the supervisor. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -90,7 +98,11 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0
     let outcome : report =
       match
         let chans = Mesh_sock.chans mesh ~proc:j in
-        Value_run.worker ~init ~scalars ~loop ~program ~proc:j ~chans ()
+        match lowered with
+        | Some lowered ->
+          Mimd_runtime.Exec_compiled.worker ~init ~scalars ~lowered ~proc:j
+            ~chans ()
+        | None -> Value_run.worker ~init ~scalars ~loop ~program ~proc:j ~chans ()
       with
       | computed, sent ->
         Ok

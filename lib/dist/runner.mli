@@ -40,6 +40,8 @@ val run :
   ?timeout:float ->
   ?channel_capacity:int ->
   ?sabotage:(int array -> unit) ->
+  ?exec:
+    [ `Compiled | `Compiled_form of Mimd_runtime.Lower.t | `Interp ] ->
   loop:Mimd_loop_ir.Ast.loop ->
   program:Mimd_codegen.Program.t ->
   unit ->
@@ -49,8 +51,14 @@ val run :
     is a fault-injection hook handed the child pids right after the
     collective start — the kill-child tests and
     [run-dist --inject-fault] use it; production callers omit it.
-    While tracing is on, children capture their own [run.*]/[dist.*]
-    spans and the parent absorbs them into its export on distinct
-    tracks.
+    [exec] picks the per-child executor: [`Compiled] (default) lowers
+    the program once in the parent and runs
+    {!Mimd_runtime.Exec_compiled.worker} in every child,
+    [`Compiled_form l] reuses an already-lowered form (e.g. from
+    {!Mimd_runtime.Schedule_cache}), [`Interp] runs the interpreted
+    {!Mimd_runtime.Value_run.worker}; outcomes are bit-identical
+    either way.  While tracing is on, children capture their own
+    [run.*]/[dist.*] spans and the parent absorbs them into its export
+    on distinct tracks.
     @raise Invalid_argument on a malformed loop/program pair.
     @raise Dist_error as above; all children are reaped first. *)

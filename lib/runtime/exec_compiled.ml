@@ -1,0 +1,188 @@
+module Program = Mimd_codegen.Program
+module Interp = Mimd_loop_ir.Interp
+module Trace = Mimd_obs.Trace
+
+(* The compiled counterpart of Value_run.worker_with: a tight match
+   over a cinstr array with int fields.  All state is preallocated —
+   the unboxed slot store, the evaluation stack, the computed-value
+   array — so the compute path allocates nothing per instruction; only
+   outbound message payloads are built on demand (they cross domains
+   and must be fresh values either way). *)
+let worker_with ~init ~scalars ~tick ~(lowered : Lower.t) ~proc:j
+    ~(chans : Value_run.chans) () =
+  let pc = lowered.Lower.procs.(j) in
+  (* NaN, not 0: a slot read before any write (impossible in a lowered
+     program, guaranteed by the planted stale-slot fault) poisons the
+     value instead of silently looking plausible. *)
+  let slots = Array.make pc.Lower.slot_count nan in
+  Array.iter
+    (fun (array, idx, slot) -> slots.(slot) <- init array idx)
+    pc.Lower.prefill;
+  let scal = Array.map scalars lowered.Lower.scalar_names in
+  let stack = Array.make pc.Lower.stack_need 0.0 in
+  let ncomputes = Array.length pc.Lower.computes in
+  let vals = Array.make ncomputes 0.0 in
+  let ci = ref 0 in
+  let sent = ref 0 in
+  let traced = Trace.is_enabled () in
+  if traced then Trace.set_thread_name (Printf.sprintf "PE%d" j);
+  let eval (code : Lower.code) (args : int array) =
+    let ops = code.Lower.ops in
+    let sp = ref 0 in
+    for k = 0 to Array.length ops - 1 do
+      match ops.(k) with
+      | Lower.Load a ->
+        stack.(!sp) <- slots.(args.(a));
+        incr sp
+      | Lower.Const c ->
+        stack.(!sp) <- c;
+        incr sp
+      | Lower.Scalar ix ->
+        stack.(!sp) <- scal.(ix);
+        incr sp
+      | Lower.Add ->
+        stack.(!sp - 2) <- stack.(!sp - 2) +. stack.(!sp - 1);
+        decr sp
+      | Lower.Sub ->
+        stack.(!sp - 2) <- stack.(!sp - 2) -. stack.(!sp - 1);
+        decr sp
+      | Lower.Mul ->
+        stack.(!sp - 2) <- stack.(!sp - 2) *. stack.(!sp - 1);
+        decr sp
+      | Lower.Div ->
+        stack.(!sp - 2) <- stack.(!sp - 2) /. stack.(!sp - 1);
+        decr sp
+      | Lower.Neg -> stack.(!sp - 1) <- -.stack.(!sp - 1)
+      | Lower.Select ->
+        stack.(!sp - 3) <-
+          (if stack.(!sp - 3) > 0.0 then stack.(!sp - 2) else stack.(!sp - 1));
+        sp := !sp - 2
+    done;
+    stack.(0)
+  in
+  (* Land one pack frame: arrivals usually match [insts] positionally
+     (both sides come from the same Comm_opt rewrite); fall back to a
+     linear search, and ignore instances this PE has no slot for — it
+     can never read them, exactly like the interpreted worker's
+     write-only Hashtbl entry. *)
+  let land_pack (insts : (int * int) array) (dst_slots : int array) pairs =
+    let n = Array.length pairs in
+    let m = Array.length insts in
+    for i = 0 to n - 1 do
+      let inst, v = pairs.(i) in
+      if i < m && insts.(i) = inst then slots.(dst_slots.(i)) <- v
+      else begin
+        let k = ref 0 in
+        while !k < m && insts.(!k) <> inst do
+          incr k
+        done;
+        if !k < m then slots.(dst_slots.(!k)) <- v
+      end
+    done
+  in
+  let exec (ins : Lower.cinstr) =
+    match ins with
+    | Lower.CCompute { code; args; dst; _ } ->
+      let v = eval code args in
+      slots.(dst) <- v;
+      vals.(!ci) <- v;
+      incr ci
+    | Lower.CSend { dst; tag; src_slot } ->
+      chans.Value_run.send ~dst ~tag (Value_run.Single slots.(src_slot));
+      incr sent
+    | Lower.CSend_pack { dst; tag; insts; src_slots } ->
+      let pairs =
+        Array.init (Array.length insts) (fun i ->
+            (insts.(i), slots.(src_slots.(i))))
+      in
+      chans.Value_run.send ~dst ~tag (Value_run.Pack pairs);
+      incr sent
+    | Lower.CRecv { src; tag; dst_slot } -> (
+      match chans.Value_run.recv ~src ~tag with
+      | Value_run.Single v -> slots.(dst_slot) <- v
+      | Value_run.Pack pairs -> land_pack [| tag |] [| dst_slot |] pairs)
+    | Lower.CRecv_pack { src; tag; insts; dst_slots } -> (
+      match chans.Value_run.recv ~src ~tag with
+      | Value_run.Single v -> slots.(dst_slots.(0)) <- v
+      | Value_run.Pack pairs -> land_pack insts dst_slots pairs)
+  in
+  Array.iter
+    (fun ins ->
+      (if traced then begin
+         let name, args =
+           match ins with
+           | Lower.CCompute { node; iter; _ } ->
+             ( "run.compute",
+               [ ("node", string_of_int node); ("iter", string_of_int iter) ] )
+           | Lower.CSend { tag = node, iter; dst; _ } ->
+             ( "run.send",
+               [
+                 ("node", string_of_int node);
+                 ("iter", string_of_int iter);
+                 ("pe", string_of_int j);
+                 ("dst", string_of_int dst);
+               ] )
+           | Lower.CRecv { tag = node, iter; src; _ } ->
+             ( "run.recv",
+               [
+                 ("node", string_of_int node);
+                 ("iter", string_of_int iter);
+                 ("pe", string_of_int j);
+                 ("src", string_of_int src);
+               ] )
+           | Lower.CSend_pack { insts; dst; _ } ->
+             ( "run.send",
+               [
+                 ("tags", string_of_int (Array.length insts));
+                 ("pe", string_of_int j);
+                 ("dst", string_of_int dst);
+               ] )
+           | Lower.CRecv_pack { insts; src; _ } ->
+             ( "run.recv",
+               [
+                 ("tags", string_of_int (Array.length insts));
+                 ("pe", string_of_int j);
+                 ("src", string_of_int src);
+               ] )
+         in
+         Trace.span ~cat:"run" ~args name (fun () -> exec ins)
+       end
+       else exec ins);
+      tick ())
+    pc.Lower.instrs;
+  (List.init ncomputes (fun i -> (pc.Lower.computes.(i), vals.(i))), !sent)
+
+let worker ?(init = Interp.init) ?(scalars = Interp.default_scalar)
+    ?(tick = ignore) ~lowered ~proc ~chans () =
+  worker_with ~init ~scalars ~tick ~lowered ~proc ~chans ()
+
+let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?watchdog
+    ?(channel_capacity = Value_run.default_channel_capacity) ?lowered ~loop
+    ~(program : Program.t) () =
+  let lowered =
+    match lowered with Some l -> l | None -> Lower.run ~loop ~program ()
+  in
+  if lowered.Lower.processors <> program.processors then
+    invalid_arg "Exec_compiled.run: lowered form is for another program";
+  let mesh = Mesh.create ~procs:program.processors ~capacity:channel_capacity in
+  let t0 = Unix.gettimeofday () in
+  let worker ~proc:j ~tick =
+    let stash = Mesh.stash mesh in
+    let chans =
+      {
+        Value_run.send = (fun ~dst ~tag v -> Mesh.send mesh ~src:j ~dst ~tag v);
+        recv = (fun ~src ~tag -> Mesh.recv_tag mesh stash ~src ~dst:j ~tag);
+      }
+    in
+    let computed, sent =
+      worker_with ~init ~scalars ~tick ~lowered ~proc:j ~chans ()
+    in
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (computed, sent, wall_ns)
+  in
+  let results =
+    Domains.run ?watchdog ~graph:program.graph ~programs:program.programs
+      ~cancel_all:(fun () -> Mesh.cancel_all mesh)
+      ~worker ()
+  in
+  Value_run.finalize ~loop ~program ~results

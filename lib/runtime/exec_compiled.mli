@@ -1,0 +1,42 @@
+(** Execution of {!Lower}ed programs: the compiled runtime backend.
+
+    Semantically identical to {!Value_run} — same instruction
+    semantics, same channel contract, same {!Value_run.outcome} with
+    the same ordering and contents — but the per-instruction work is a
+    tight match over an array of int-field records: operand reads are
+    slot lookups in an unboxed [float array], expression evaluation is
+    a postfix loop over a reusable float stack, and message endpoints
+    and slots were bound at lower time.  The differential suite and
+    [check --fuzz-exec] hold compiled ≡ interpreted ≡ sequential
+    bit-for-bit. *)
+
+val worker :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  ?tick:(unit -> unit) ->
+  lowered:Lower.t ->
+  proc:int ->
+  chans:Value_run.chans ->
+  unit ->
+  ((int * int) * float) list * int
+(** Execute processor [proc]'s lowered stream over any channel backend
+    (the domain {!Mesh} or the [Mimd_dist] socket mesh); returns
+    (computed instance values, messages sent) exactly like
+    {!Value_run.worker}.  [tick] is the watchdog progress hook. *)
+
+val run :
+  ?init:(string -> int -> float) ->
+  ?scalars:(string -> float) ->
+  ?watchdog:Watchdog.config ->
+  ?channel_capacity:int ->
+  ?lowered:Lower.t ->
+  loop:Mimd_loop_ir.Ast.loop ->
+  program:Mimd_codegen.Program.t ->
+  unit ->
+  Value_run.outcome
+(** Like {!Value_run.run} but executing the compiled form on the
+    domain mesh.  [lowered] (e.g. from {!Schedule_cache.find_lowered})
+    skips the lowering pass; omitted, the program is lowered here.
+    @raise Invalid_argument as {!Lower.run} does, or when [lowered]
+    was built for a different processor count.
+    @raise Watchdog.Runtime_deadlock as {!Value_run.run}. *)

@@ -1,0 +1,104 @@
+(** One-time lowering of per-processor programs to flat, unboxed code.
+
+    The runtime's interpreted worker ({!Value_run.worker}) re-walks
+    each statement's AST through closures on every [Compute] and keeps
+    every value behind a polymorphic [Hashtbl] keyed by boxed
+    [(node, iter)] tuples.  This pass pays all of that once, at
+    compile time:
+
+    - {b slot allocation} — every [(node, iter)] instance a PE touches
+      (its own computes plus everything it receives) gets a dense int
+      slot in one unboxed [float array]; reaching definitions are
+      resolved here via {!Mimd_sim.Value_exec.resolver}, so an operand
+      read is a precomputed slot index, and reads that fall through to
+      initial memory become slots prefilled before the first
+      instruction;
+    - {b expression compilation} — each statement RHS compiles once to
+      a small postfix op array evaluated on a reusable float stack: no
+      closures, no AST walk, no allocation per iteration;
+    - {b pre-bound communication} — Send/Recv/pack instructions carry
+      their endpoint, wire tag and source/destination slot arrays
+      already resolved.
+
+    The lowered form is transport-agnostic: {!Exec_compiled} runs it
+    over any {!Value_run.chans} backend (domain mesh or the [Mimd_dist]
+    socket mesh) with outcomes bit-identical to the interpreted
+    worker.  Malformed programs (an operand or sent value that is
+    never produced before use) are rejected {e here}, with the same
+    diagnosis the interpreted worker would raise at run time. *)
+
+type op =
+  | Load of int  (** push the slot bound to the k-th operand read *)
+  | Const of float
+  | Scalar of int  (** index into the lowering's scalar table *)
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Neg
+  | Select
+      (** eager ternary: [p :: a :: b] on the stack becomes
+          [if p > 0 then a else b] — bit-identical to the
+          interpreter's short-circuit walk because expressions are
+          pure and codegen delivers both branches' operands *)
+
+type code = { ops : op array; stack_need : int }
+(** One statement RHS in postfix; [stack_need] bounds the evaluation
+    stack ([>= 1]). *)
+
+type cinstr =
+  | CCompute of {
+      node : int;
+      iter : int;
+      code : code;
+      args : int array;  (** slot index per operand, {!code} order *)
+      dst : int;  (** slot receiving the computed value *)
+    }
+  | CSend of { dst : int; tag : int * int; src_slot : int }
+  | CSend_pack of {
+      dst : int;
+      tag : int * int;  (** head instance: the frame's wire name *)
+      insts : (int * int) array;
+      src_slots : int array;
+    }
+  | CRecv of { src : int; tag : int * int; dst_slot : int }
+  | CRecv_pack of {
+      src : int;
+      tag : int * int;
+      insts : (int * int) array;
+      dst_slots : int array;
+    }
+
+type proc_code = {
+  instrs : cinstr array;
+  slot_count : int;  (** size of the value store ([>= 1]) *)
+  prefill : (string * int * int) array;
+      (** (array, cell index, slot): initial-memory cells to load
+          before the first instruction *)
+  computes : (int * int) array;
+      (** instances this PE computes, program order — pairs with the
+          executor's value array to rebuild the computed list *)
+  stack_need : int;
+}
+
+type t = {
+  processors : int;
+  procs : proc_code array;
+  scalar_names : string array;
+}
+
+val run : loop:Mimd_loop_ir.Ast.loop -> program:Mimd_codegen.Program.t -> unit -> t
+(** Lower every processor's instruction list.  [loop] must be flat and
+    its assignment count must match the program's graph node count.
+    @raise Invalid_argument on a malformed pair, including a [Compute]
+    whose operand (or a [Send] whose value) is not defined before use
+    on its PE — the conditions the interpreted worker only detects at
+    run time. *)
+
+val sabotage_stale_slot : t -> t
+(** A copy of [t] with one deliberately stale operand: the first
+    [Compute] that reads anything is redirected to a fresh slot no
+    instruction ever writes (executors initialise slots to NaN).  The
+    value differential against the sequential interpreter must catch
+    it; used by the CI must-fail probe.  The input is not mutated.
+    @raise Invalid_argument if no compute reads any operand. *)

@@ -20,6 +20,17 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* Side tier for lowered programs (Lower.t): the executable form a
+     schedule compiles down to.  Keys are caller-built (see
+     [lowered_key]) because the lowered form depends on more than the
+     schedule — the loop's expressions and any program rewrite.  Kept
+     as a plain bounded table under the same mutex: entries are cheap
+     to rebuild, so wholesale reset beyond capacity beats maintaining
+     a second recency list. *)
+  lowered : (string, Lower.t) Hashtbl.t;
+  mutable lowered_hits : int;
+  mutable lowered_misses : int;
+  mutable lowered_evictions : int;
 }
 
 type stats = { hits : int; misses : int; entries : int; evictions : int }
@@ -35,6 +46,10 @@ let create ?(capacity = 128) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    lowered = Hashtbl.create 64;
+    lowered_hits = 0;
+    lowered_misses = 0;
+    lowered_evictions = 0;
   }
 
 let global = create ()
@@ -173,6 +188,49 @@ let stats t =
         evictions = t.evictions;
       })
 
+(* ---- the lowered-program tier ------------------------------------ *)
+
+let lowered_key ?comm_window ~fingerprint ~loop () =
+  (* The schedule fingerprint does not pin the loop's expressions (two
+     bodies with the same dependence graph can differ in operators and
+     constants), and the lowered form bakes them in — so the key mixes
+     in a digest of the printed source, plus the comm-opt window when
+     the programs were rewritten before lowering. *)
+  let src = Format.asprintf "%a" Mimd_loop_ir.Ast.pp_loop loop in
+  fingerprint
+  ^ "|src"
+  ^ Digest.to_hex (Digest.string src)
+  ^ match comm_window with None -> "" | Some w -> Printf.sprintf "|co%d" w
+
+let find_lowered t ~key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.lowered key with
+      | Some l ->
+        t.lowered_hits <- t.lowered_hits + 1;
+        Some l
+      | None ->
+        t.lowered_misses <- t.lowered_misses + 1;
+        None)
+
+let add_lowered t ~key value =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.lowered key) then begin
+        if Hashtbl.length t.lowered >= t.capacity then begin
+          t.lowered_evictions <- t.lowered_evictions + Hashtbl.length t.lowered;
+          Hashtbl.reset t.lowered
+        end;
+        Hashtbl.replace t.lowered key value
+      end)
+
+let lowered_stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.lowered_hits;
+        misses = t.lowered_misses;
+        entries = Hashtbl.length t.lowered;
+        evictions = t.lowered_evictions;
+      })
+
 let clear t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;
@@ -180,4 +238,8 @@ let clear t =
       t.tail <- None;
       t.hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      Hashtbl.reset t.lowered;
+      t.lowered_hits <- 0;
+      t.lowered_misses <- 0;
+      t.lowered_evictions <- 0)

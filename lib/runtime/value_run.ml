@@ -37,9 +37,16 @@ let check_pair ~loop ~program =
    a socket mesh, and the instruction semantics stay byte-identical. *)
 let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () =
   (* Shared-nothing by discipline: everything below is this worker's
-     private state; values cross processors only through [chans]. *)
-  let local : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
-  let computed = ref [] in
+     private state; values cross processors only through [chans].
+     The local store is sized from the PE's instruction count (every
+     instruction defines at most one instance) so large trip counts
+     don't rehash mid-run, and computed values fill a preallocated
+     array instead of consing a list per compute. *)
+  let local : (int * int, float) Hashtbl.t =
+    Hashtbl.create (max 16 (Program.proc_instruction_count program j))
+  in
+  let computed = Array.make (max 1 (Program.compute_count program j)) ((0, 0), 0.0) in
+  let ncomputed = ref 0 in
   let sent = ref 0 in
   (* Hoisted so the untraced path keeps its straight-line loop: per-op
      spans (and their args) are only built when a capture is live. *)
@@ -66,7 +73,8 @@ let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () 
         in
         let v = Interp.eval_expr_with ~read ~scalars rhs in
         Hashtbl.replace local (node, iter) v;
-        computed := ((node, iter), v) :: !computed
+        computed.(!ncomputed) <- ((node, iter), v);
+        incr ncomputed
       | Program.Send { tag; dst } ->
         let key = (tag.Program.node, tag.Program.iter) in
         let v =
@@ -142,7 +150,7 @@ let worker_with ~init ~scalars ~stmts ~resolve ~tick ~program ~proc:j ~chans () 
        else exec instr);
       tick ())
     program.Program.programs.(j);
-  (!computed, !sent)
+  (Array.to_list (Array.sub computed 0 !ncomputed), !sent)
 
 let worker ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(tick = ignore)
     ~loop ~program ~proc ~chans () =

@@ -18,6 +18,9 @@ type t = {
   disk : Disk_cache.t option;
   validate : bool;
   comm_opt : int option;  (* coalescing window of the comm rewrite, when on *)
+  exec : [ `Compiled | `Interp ];
+      (* `Compiled pre-lowers freshly computed schedules' programs into
+         the cache's lowered tier, so an execution client starts warm *)
   mutex : Mutex.t;
   mutable requests : int;
   mutable errors : int;
@@ -26,6 +29,7 @@ type t = {
   mutable schedule_ms : float list;
   mutable schedule_incr_ms : float list;
   mutable validate_ms : float list;
+  mutable lower_ms : float list;
   mutable total_ms : float list;
   (* Prometheus view of the same numbers (plus cache-tier counters),
      owned per service so concurrent services never share series. *)
@@ -40,11 +44,13 @@ type t = {
   h_schedule : Metrics.histogram;
   h_schedule_incr : Metrics.histogram;
   h_validate : Metrics.histogram;
+  h_lower : Metrics.histogram;
   h_total : Metrics.histogram;
   h_queue_wait : Metrics.histogram;
 }
 
-let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
+let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt
+    ?(exec = `Compiled) () =
   let metrics = Metrics.create () in
   let tiered name help tier =
     Metrics.counter ~help ~labels:[ ("tier", tier) ] metrics name
@@ -58,6 +64,7 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
     disk;
     validate;
     comm_opt;
+    exec;
     mutex = Mutex.create ();
     requests = 0;
     errors = 0;
@@ -65,6 +72,7 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
     schedule_ms = [];
     schedule_incr_ms = [];
     validate_ms = [];
+    lower_ms = [];
     total_ms = [];
     metrics;
     m_requests =
@@ -81,6 +89,7 @@ let create ?(memory_capacity = 256) ?disk ?(validate = false) ?comm_opt () =
     h_schedule = stage "schedule";
     h_schedule_incr = stage "schedule_incr";
     h_validate = stage "validate";
+    h_lower = stage "lower";
     h_total = stage "total";
     h_queue_wait =
       Metrics.histogram ~help:"Pool queue wait in milliseconds" metrics
@@ -109,7 +118,7 @@ let parse_loop source =
     let flat =
       if Mimd_loop_ir.Ast.is_flat loop then loop else Mimd_loop_ir.If_convert.run loop
     in
-    Ok (Mimd_loop_ir.Depend.analyze flat).Mimd_loop_ir.Depend.graph
+    Ok (flat, (Mimd_loop_ir.Depend.analyze flat).Mimd_loop_ir.Depend.graph)
 
 let past deadline = match deadline with Some d -> Unix.gettimeofday () > d | None -> false
 
@@ -134,7 +143,39 @@ let compute t ~graph ~machine ~iterations ~validate =
       | Error m -> err Protocol.Validation "schedule rejected: %s" m
     end
 
-let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
+(* Pre-lower the fresh schedule's generated program into the cache's
+   lowered tier, so the first execution client to ask starts warm.
+   Best effort: a loop that the runtime cannot execute (distances
+   beyond {0, 1} after unwinding) simply skips the step — the served
+   schedule itself is unaffected. *)
+let prelower t ~key ~flat ~full =
+  if t.exec = `Compiled
+     && Mimd_ddg.Graph.node_count
+          (Mimd_core.Schedule.graph full.Full_sched.schedule)
+        = List.length (Mimd_loop_ir.Ast.assignments flat)
+  then begin
+    let t0 = now_ms () in
+    match
+      let program =
+        let p = Mimd_codegen.From_schedule.run full.Full_sched.schedule in
+        match t.comm_opt with
+        | None -> p
+        | Some window -> fst (Mimd_codegen.Comm_opt.run ~window p)
+      in
+      Mimd_runtime.Lower.run ~loop:flat ~program ()
+    with
+    | exception _ -> ()
+    | lowered ->
+      let lkey =
+        Schedule_cache.lowered_key ?comm_window:t.comm_opt ~fingerprint:key ~loop:flat ()
+      in
+      Schedule_cache.add_lowered t.memory ~key:lkey lowered;
+      let dt = now_ms () -. t0 in
+      with_lock t (fun () -> t.lower_ms <- dt :: t.lower_ms);
+      Metrics.observe t.h_lower dt
+  end
+
+let compile_graph t ?deadline ?flat ~validate ~graph ~machine ~iterations () =
   let started = now_ms () in
   let finish tier full =
     let makespan = Full_sched.parallel_time full in
@@ -212,6 +253,7 @@ let compile_graph t ?deadline ~validate ~graph ~machine ~iterations () =
              on, which it was just above for this very entry). *)
           Schedule_cache.add t.memory ~key full;
           Option.iter (fun d -> Disk_cache.store d ~key full) t.disk;
+          Option.iter (fun flat -> prelower t ~key ~flat ~full) flat;
           if past deadline then
             err Protocol.Deadline "deadline elapsed during compilation (result cached)"
           else Ok (finish Protocol.Computed full)))
@@ -238,7 +280,8 @@ let compile t ?deadline ?validate ~loop ~machine ~iterations () =
   let outcome =
     match parsed with
     | Error e -> Error e
-    | Ok graph -> compile_graph t ?deadline ~validate ~graph ~machine ~iterations ()
+    | Ok (flat, graph) ->
+      compile_graph t ?deadline ~flat ~validate ~graph ~machine ~iterations ()
   in
   record outcome;
   outcome
@@ -273,7 +316,14 @@ let latency_json samples =
       ]
 
 let stats_json ?pool t =
-  let requests, errors, parse_ms, schedule_ms, schedule_incr_ms, validate_ms, total_ms =
+  let ( requests,
+        errors,
+        parse_ms,
+        schedule_ms,
+        schedule_incr_ms,
+        validate_ms,
+        lower_ms,
+        total_ms ) =
     with_lock t (fun () ->
         ( t.requests,
           t.errors,
@@ -281,6 +331,7 @@ let stats_json ?pool t =
           t.schedule_ms,
           t.schedule_incr_ms,
           t.validate_ms,
+          t.lower_ms,
           t.total_ms ))
   in
   let mem = Schedule_cache.stats t.memory in
@@ -292,6 +343,16 @@ let stats_json ?pool t =
         ("entries", Json.Int mem.Schedule_cache.entries);
         ("evictions", Json.Int mem.Schedule_cache.evictions);
         ("capacity", Json.Int (Schedule_cache.capacity t.memory));
+      ]
+  in
+  let lowered_json =
+    let s = Schedule_cache.lowered_stats t.memory in
+    Json.Obj
+      [
+        ("enabled", Json.Bool (t.exec = `Compiled));
+        ("hits", Json.Int s.Schedule_cache.hits);
+        ("misses", Json.Int s.Schedule_cache.misses);
+        ("entries", Json.Int s.Schedule_cache.entries);
       ]
   in
   let disk_json =
@@ -328,6 +389,7 @@ let stats_json ?pool t =
       ("errors", Json.Int errors);
       ("validate", Json.Bool t.validate);
       ("memory_cache", memory_json);
+      ("lowered_cache", lowered_json);
       ("disk_cache", disk_json);
       ( "incr_prep",
         (let s = Incr.stats Incr.global in
@@ -345,6 +407,7 @@ let stats_json ?pool t =
             ("schedule", latency_json schedule_ms);
             ("schedule_incr", latency_json schedule_incr_ms);
             ("validate", latency_json validate_ms);
+            ("lower", latency_json lower_ms);
             ("total", latency_json total_ms);
           ] );
     ]

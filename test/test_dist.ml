@@ -322,6 +322,31 @@ let test_runner_random_sweep () =
     dist_differential ~name:(Printf.sprintf "seed %d" seed) ~iterations:6 loop
   done
 
+let test_runner_compiled_pack_delivery () =
+  (* Satellite of the compiled backend: pack frames over the socket
+     transport, delivered into compiled slots and read iterations
+     later, must agree bit for bit with the interpreted executor and
+     the sequential interpreter. *)
+  let loop = Parser.parse Mimd_workloads.Elliptic.source in
+  let flat, program = compile ~p:3 ~iterations:30 loop in
+  let packed, _stats = Mimd_codegen.Comm_opt.run ~window:6 program in
+  let has_pack =
+    Array.exists
+      (List.exists (function
+        | Mimd_codegen.Program.Recv_pack { tags; _ } -> List.length tags > 1
+        | _ -> false))
+      packed.Mimd_codegen.Program.programs
+  in
+  check_bool "optimized program carries multi-value packs" true has_pack;
+  let compiled = Runner.run ~exec:`Compiled ~loop:flat ~program:packed () in
+  let interp = Runner.run ~exec:`Interp ~loop:flat ~program:packed () in
+  (match Value_run.check_against_sequential ~loop:flat ~iterations:30 compiled with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "socket compiled vs interp: %s" e);
+  check_bool "socket: compiled == interpreted, every instance" true
+    (compiled.Value_run.instance_values = interp.Value_run.instance_values
+    && compiled.Value_run.final = interp.Value_run.final)
+
 let no_children_left () =
   (* The reap contract: after any runner return or failure there must
      be no child processes at all. *)
@@ -623,6 +648,8 @@ let suite =
     Alcotest.test_case "runner: high message volume" `Quick
       test_runner_high_message_volume;
     Alcotest.test_case "runner: 25-seed random sweep" `Slow test_runner_random_sweep;
+    Alcotest.test_case "runner: compiled pack delivery" `Quick
+      test_runner_compiled_pack_delivery;
     Alcotest.test_case "runner: killed child -> structured error" `Quick test_runner_kill_child;
     Alcotest.test_case "runner: stalled child -> watchdog" `Quick test_runner_stall_detected;
     Alcotest.test_case "runner: child traces absorbed" `Quick test_runner_traces_absorbed;

@@ -16,6 +16,8 @@ module Watchdog = Mimd_runtime.Watchdog
 module Value_run = Mimd_runtime.Value_run
 module Timed_run = Mimd_runtime.Timed_run
 module Schedule_cache = Mimd_runtime.Schedule_cache
+module Lower = Mimd_runtime.Lower
+module Exec_compiled = Mimd_runtime.Exec_compiled
 
 (* ---------------------------------------------------------------- *)
 (* Channels                                                           *)
@@ -243,6 +245,139 @@ let test_schedule_cache_eviction () =
   Schedule_cache.clear cache;
   check_int "cleared" 0 (Schedule_cache.stats cache).Schedule_cache.entries
 
+(* ---------------------------------------------------------------- *)
+(* Compiled execution: the lowered form and its differential          *)
+
+let test_lower_shape () =
+  let loop = Parser.parse "for i = 1 to n { X[i] = X[i-1] * 2 + c; }" in
+  let flat, program = compile ~iterations:6 loop in
+  let lowered = Lower.run ~loop:flat ~program () in
+  check_int "one scalar" 1 (Array.length lowered.Lower.scalar_names);
+  check_string "scalar name" "c" lowered.Lower.scalar_names.(0);
+  Array.iteri
+    (fun j pc ->
+      check_bool (Printf.sprintf "PE%d slot store non-empty" j) true
+        (pc.Lower.slot_count >= 1);
+      check_bool (Printf.sprintf "PE%d stack bounded" j) true (pc.Lower.stack_need >= 1);
+      Array.iter
+        (fun ci ->
+          match ci with
+          | Lower.CCompute { code; args; dst; _ } ->
+            (* X[i-1] * 2 + c in postfix: Load Const Mul Scalar Add *)
+            check_int "postfix length" 5 (Array.length code.Lower.ops);
+            check_bool "compute has operand slots" true
+              (Array.for_all (fun s -> s >= 0 && s < pc.Lower.slot_count) args);
+            check_bool "dst in range" true (dst >= 0 && dst < pc.Lower.slot_count)
+          | Lower.CSend _ | Lower.CSend_pack _ | Lower.CRecv _ | Lower.CRecv_pack _ -> ())
+        pc.Lower.instrs)
+    lowered.Lower.procs;
+  (* the first iteration reads X[0] from initial memory: some PE
+     prefills it *)
+  let prefills =
+    Array.exists
+      (fun pc -> Array.exists (fun (a, i, _) -> a = "X" && i < 1) pc.Lower.prefill)
+      lowered.Lower.procs
+  in
+  check_bool "initial-memory read is a prefilled slot" true prefills
+
+let compiled_differential ~name ?(p = 2) ?(k = 2) ?(iterations = 20) loop =
+  let flat, program = compile ~p ~k ~iterations loop in
+  let compiled = Exec_compiled.run ~loop:flat ~program () in
+  (match Value_run.check_against_sequential ~loop:flat ~iterations compiled with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: compiled vs interp: %s" name e);
+  let interp = Value_run.run ~loop:flat ~program () in
+  if compiled.Value_run.instance_values <> interp.Value_run.instance_values then
+    Alcotest.failf "%s: compiled instance values differ from interpreted" name;
+  if compiled.Value_run.final <> interp.Value_run.final then
+    Alcotest.failf "%s: compiled final memory differs from interpreted" name
+
+let test_compiled_differential_workloads () =
+  List.iter
+    (fun (name, src) -> compiled_differential ~name (Parser.parse src))
+    [
+      ("fig1", Mimd_workloads.Fig1.source);
+      ("fig7", Mimd_workloads.Fig7.source);
+      ("elliptic", Mimd_workloads.Elliptic.source);
+    ];
+  compiled_differential ~name:"ewf p=4" ~p:4
+    (Parser.parse Mimd_workloads.Elliptic.source)
+
+let test_compiled_differential_random () =
+  for seed = 1 to 12 do
+    let loop = Mimd_workloads.Random_loop.generate_loop ~seed () in
+    compiled_differential ~name:(Printf.sprintf "seed %d" seed)
+      ~p:(2 + (seed mod 3)) ~iterations:10 loop
+  done
+
+let test_compiled_pack_delivery () =
+  (* Satellite: values delivered inside a coalesced pack land in their
+     slots and survive until reads many iterations later.  ewf under a
+     wide coalescing window produces Recv_pack frames whose extra
+     values are consumed well after the head's iteration; the compiled
+     and interpreted executors must agree bit for bit on every
+     instance, on both programs. *)
+  let loop = Parser.parse Mimd_workloads.Elliptic.source in
+  let flat, program = compile ~p:3 ~iterations:30 loop in
+  let packed, stats = Mimd_codegen.Comm_opt.run ~window:6 program in
+  check_bool "window coalesced some frames" true
+    (stats.Mimd_codegen.Comm_opt.coalesced > 0);
+  let has_pack =
+    Array.exists
+      (List.exists (function
+        | Program.Recv_pack { tags; _ } -> List.length tags > 1
+        | _ -> false))
+      packed.Program.programs
+  in
+  check_bool "optimized program carries multi-value packs" true has_pack;
+  let compiled = Exec_compiled.run ~loop:flat ~program:packed () in
+  (match Value_run.check_against_sequential ~loop:flat ~iterations:30 compiled with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "packed compiled vs interp: %s" e);
+  let interp = Value_run.run ~loop:flat ~program:packed () in
+  check_bool "packed: compiled == interpreted, every instance" true
+    (compiled.Value_run.instance_values = interp.Value_run.instance_values
+    && compiled.Value_run.final = interp.Value_run.final)
+
+let test_stale_slot_must_fail () =
+  let loop = Parser.parse Mimd_workloads.Fig7.source in
+  let flat, program = compile ~iterations:15 loop in
+  let lowered = Lower.sabotage_stale_slot (Lower.run ~loop:flat ~program ()) in
+  let compiled = Exec_compiled.run ~lowered ~loop:flat ~program () in
+  match Value_run.check_against_sequential ~loop:flat ~iterations:15 compiled with
+  | Error _ -> ()  (* the NaN-poisoned slot must surface as a mismatch *)
+  | Ok () -> Alcotest.fail "sabotaged lowering escaped the value differential"
+
+let test_lowered_cache () =
+  let cache = Schedule_cache.create () in
+  let loop = Parser.parse Mimd_workloads.Fig7.source in
+  let flat, program = compile ~iterations:12 loop in
+  let graph = (Depend.analyze flat).Depend.graph in
+  let machine = machine () in
+  let fingerprint = Schedule_cache.fingerprint ~graph ~machine ~iterations:12 () in
+  let key = Schedule_cache.lowered_key ~fingerprint ~loop:flat () in
+  check_bool "cold lookup misses" true (Schedule_cache.find_lowered cache ~key = None);
+  let lowered = Lower.run ~loop:flat ~program () in
+  Schedule_cache.add_lowered cache ~key lowered;
+  (match Schedule_cache.find_lowered cache ~key with
+  | Some l -> check_bool "hit is the stored form" true (l == lowered)
+  | None -> Alcotest.fail "stored lowered form not found");
+  let st = Schedule_cache.lowered_stats cache in
+  check_int "one lowered hit" 1 st.Schedule_cache.hits;
+  check_int "one lowered miss" 1 st.Schedule_cache.misses;
+  check_int "one lowered entry" 1 st.Schedule_cache.entries;
+  (* the key pins the loop source, not just the schedule fingerprint:
+     same dependence shape, different constant -> different key *)
+  let other = Parser.parse "for i = 1 to n { A[i] = A[i-1] + 2; B[i] = A[i] * 3; }" in
+  let other = if Ast.is_flat other then other else Mimd_loop_ir.If_convert.run other in
+  check_bool "loop source is part of the key" true
+    (Schedule_cache.lowered_key ~fingerprint ~loop:other () <> key);
+  check_bool "comm window is part of the key" true
+    (Schedule_cache.lowered_key ~comm_window:4 ~fingerprint ~loop:flat () <> key);
+  Schedule_cache.clear cache;
+  check_int "clear empties the lowered tier" 0
+    (Schedule_cache.lowered_stats cache).Schedule_cache.entries
+
 let suite =
   [
     Alcotest.test_case "channel: fifo" `Quick test_channel_fifo;
@@ -261,4 +396,14 @@ let suite =
     Alcotest.test_case "schedule cache: memoizes" `Quick test_schedule_cache_hits;
     Alcotest.test_case "schedule cache: key semantics" `Quick test_schedule_cache_key_semantics;
     Alcotest.test_case "schedule cache: bounded + clear" `Quick test_schedule_cache_eviction;
+    Alcotest.test_case "compiled exec: lowered form shape" `Quick test_lower_shape;
+    Alcotest.test_case "compiled exec: differential on paper workloads" `Quick
+      test_compiled_differential_workloads;
+    Alcotest.test_case "compiled exec: differential on random loops" `Quick
+      test_compiled_differential_random;
+    Alcotest.test_case "compiled exec: pack delivery into slots" `Quick
+      test_compiled_pack_delivery;
+    Alcotest.test_case "compiled exec: stale-slot sabotage is caught" `Quick
+      test_stale_slot_must_fail;
+    Alcotest.test_case "compiled exec: lowered cache tier" `Quick test_lowered_cache;
   ]
