@@ -248,6 +248,156 @@ let exec_compiled_socket_part () =
         [ 2; 4 ])
     [ ("ewf", W.Elliptic.source, 2000); ("fig1", W.Fig1.source, 2000) ]
 
+(* Part 0d: the TCP transport against the socketpair baseline.  Same
+   compiled programs, same executor — only the link layer changes, so
+   the deltas are pure transport cost: raw frame round trip over each
+   kind of socket (and its effective k), whole-run wall clock per
+   kernel, and what a one-shot worker kill costs a supervised
+   (--respawn) run end to end.  Everything here forks.               *)
+
+type tcp_row = {
+  tc_kernel : string;
+  tc_procs : int;
+  tc_iterations : int;
+  uds_makespan_ns : float;
+  tcp_makespan_ns : float;
+}
+
+type tcp_stats = {
+  tcp_cycle_ns : float;
+  uds_rtt_ns : float;
+  tcp_rtt_ns : float;
+  uds_effective_k : float;
+  tcp_effective_k : float;
+  tcp_rows : tcp_row list;
+  respawn_clean_ns : float;  (* ewf p=2 run, no fault *)
+  respawn_recovered_ns : float;  (* same run, PE0 killed once, --respawn 2 *)
+}
+
+let tcp_transport = Mimd_dist.Runner.Tcp { roster = None; handshake_fault = None }
+
+(* Median round trip of one Wire frame over an already-connected pair
+   of stream sockets, both endpoints in this process — no scheduling
+   noise from an echo peer, just the kernel's two copies and wakeups.
+   The same framing Linkprobe uses, so the effective-k figures are in
+   the same currency. *)
+let pair_rtt_ns ~rounds fd_a fd_b =
+  let payload : (int * int) * float = ((0, 0), 1.0) in
+  for _ = 1 to 20 do
+    Mimd_dist.Wire.write fd_a payload;
+    ignore (Mimd_dist.Wire.read_exn fd_b : (int * int) * float);
+    Mimd_dist.Wire.write fd_b payload;
+    ignore (Mimd_dist.Wire.read_exn fd_a : (int * int) * float)
+  done;
+  let samples =
+    Array.init rounds (fun _ ->
+        let t0 = Mimd_obs.Clock.now_ns () in
+        Mimd_dist.Wire.write fd_a payload;
+        ignore (Mimd_dist.Wire.read_exn fd_b : (int * int) * float);
+        Mimd_dist.Wire.write fd_b payload;
+        ignore (Mimd_dist.Wire.read_exn fd_a : (int * int) * float);
+        float_of_int (Mimd_obs.Clock.now_ns () - t0))
+  in
+  Array.sort compare samples;
+  samples.(rounds / 2)
+
+let dist_tcp_part () =
+  let rounds = 300 in
+  let cycle_ns = Mimd_dist.Linkprobe.calibrate_cycle_ns () in
+  let uds_rtt_ns =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close a; Unix.close b)
+      (fun () -> pair_rtt_ns ~rounds a b)
+  in
+  let tcp_rtt_ns =
+    let lst = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind lst (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen lst 1;
+    let a = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect a (Unix.getsockname lst);
+    let b, _ = Unix.accept lst in
+    Unix.close lst;
+    List.iter (fun fd -> Unix.setsockopt fd Unix.TCP_NODELAY true) [ a; b ];
+    Fun.protect
+      ~finally:(fun () -> Unix.close a; Unix.close b)
+      (fun () -> pair_rtt_ns ~rounds a b)
+  in
+  let rows =
+    List.concat_map
+      (fun (tc_kernel, src, tc_iterations) ->
+        List.map
+          (fun tc_procs ->
+            let loop, program =
+              dist_compile ~src ~processors:tc_procs ~k:2 ~iterations:tc_iterations
+            in
+            let median transport =
+              exec_median_makespan ~runs:exec_runs (fun () ->
+                  Mimd_dist.Runner.run ~transport ~loop ~program ())
+            in
+            {
+              tc_kernel;
+              tc_procs;
+              tc_iterations;
+              uds_makespan_ns = median Mimd_dist.Runner.Unix_sockets;
+              tcp_makespan_ns = median tcp_transport;
+            })
+          [ 2; 3 ])
+      [ ("ewf", W.Elliptic.source, 500); ("fig1", W.Fig1.source, 500) ]
+  in
+  let respawn_clean_ns, respawn_recovered_ns =
+    let loop, program =
+      dist_compile ~src:W.Elliptic.source ~processors:2 ~k:2 ~iterations:500
+    in
+    let time run =
+      let t0 = Mimd_obs.Clock.now_ns () in
+      ignore (run () : Mimd_runtime.Value_run.outcome);
+      float_of_int (Mimd_obs.Clock.now_ns () - t0)
+    in
+    let clean = time (fun () -> Mimd_dist.Runner.run ~loop ~program ()) in
+    let armed = ref true in
+    let sabotage pids =
+      if !armed then begin
+        armed := false;
+        try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ()
+      end
+    in
+    let recovered =
+      time (fun () -> Mimd_dist.Runner.run ~sabotage ~respawn:2 ~loop ~program ())
+    in
+    (clean, recovered)
+  in
+  {
+    tcp_cycle_ns = cycle_ns;
+    uds_rtt_ns;
+    tcp_rtt_ns;
+    uds_effective_k = uds_rtt_ns /. 2.0 /. cycle_ns;
+    tcp_effective_k = tcp_rtt_ns /. 2.0 /. cycle_ns;
+    tcp_rows = rows;
+    respawn_clean_ns;
+    respawn_recovered_ns;
+  }
+
+let dist_tcp_print (s : tcp_stats) =
+  print_endline "\n=== DIST-TCP (loopback TCP vs Unix socketpair transport) ===";
+  Printf.printf
+    "frame rtt: uds %.0f ns (k ~ %.1f), tcp %.0f ns (k ~ %.1f); cycle %.1f ns\n"
+    s.uds_rtt_ns s.uds_effective_k s.tcp_rtt_ns s.tcp_effective_k s.tcp_cycle_ns;
+  Printf.printf "%-8s %5s %6s %14s %14s %7s\n" "kernel" "procs" "iters" "uds(ms)"
+    "tcp(ms)" "tcp/uds";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %5d %6d %14.2f %14.2f %7.2f\n" r.tc_kernel r.tc_procs
+        r.tc_iterations (r.uds_makespan_ns /. 1e6) (r.tcp_makespan_ns /. 1e6)
+        (r.tcp_makespan_ns /. r.uds_makespan_ns))
+    s.tcp_rows;
+  Printf.printf
+    "respawn recovery (ewf p=2 n=500): clean %.2f ms, PE0 killed once + --respawn \
+     %.2f ms (overhead %.2f ms)\n"
+    (s.respawn_clean_ns /. 1e6)
+    (s.respawn_recovered_ns /. 1e6)
+    ((s.respawn_recovered_ns -. s.respawn_clean_ns) /. 1e6)
+
 (* Domain halves: strictly after the last fork. *)
 let exec_compiled_domain_part rows =
   List.iter
@@ -728,6 +878,28 @@ let dist_json d =
   Buffer.add_string b "  ]},\n";
   Buffer.contents b
 
+let dist_tcp_json (s : tcp_stats) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"dist_tcp\": {\"cycle_ns\": %.1f, \"uds_rtt_ns\": %.0f, \"tcp_rtt_ns\": \
+        %.0f, \"uds_effective_k\": %.1f, \"tcp_effective_k\": %.1f, \
+        \"respawn_clean_ns\": %.0f, \"respawn_recovered_ns\": %.0f, \"runs\": [\n"
+       s.tcp_cycle_ns s.uds_rtt_ns s.tcp_rtt_ns s.uds_effective_k s.tcp_effective_k
+       s.respawn_clean_ns s.respawn_recovered_ns);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"processors\": %d, \"iterations\": %d, \
+            \"uds_makespan_ns\": %.0f, \"tcp_makespan_ns\": %.0f}%s\n"
+           (json_escape r.tc_kernel) r.tc_procs r.tc_iterations r.uds_makespan_ns
+           r.tcp_makespan_ns
+           (if i = List.length s.tcp_rows - 1 then "" else ",")))
+    s.tcp_rows;
+  Buffer.add_string b "  ]},\n";
+  Buffer.contents b
+
 let comm_opt_json rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b
@@ -795,10 +967,12 @@ let tune_json t =
   Buffer.add_string b "  ]},\n";
   Buffer.contents b
 
-let write_json ~dist ~comm_rows ~exec_rows ~tune ~runtime_rows ~server ~bechamel_rows path =
+let write_json ~dist ~dist_tcp ~comm_rows ~exec_rows ~tune ~runtime_rows ~server
+    ~bechamel_rows path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": 1,\n  \"generated_by\": \"bench/main.exe\",\n";
   Buffer.add_string b (dist_json dist);
+  Buffer.add_string b (dist_tcp_json dist_tcp);
   Buffer.add_string b (comm_opt_json comm_rows);
   Buffer.add_string b (exec_compiled_json exec_rows);
   Buffer.add_string b (tune_json tune);
@@ -1112,6 +1286,7 @@ let () =
   else begin
     (* forks first, domains after — see Part 0 *)
     let dist = dist_socket_part () in
+    let dist_tcp = dist_tcp_part () in
     let comm_rows =
       comm_opt_part ~assumed_k:dist.assumed_k ~effective_k:dist.effective_k_rounded ()
     in
@@ -1121,11 +1296,12 @@ let () =
     let runtime_rows = runtime_comparison () in
     dist_domain_part dist;
     exec_compiled_domain_part exec_rows;
+    dist_tcp_print dist_tcp;
     comm_opt_print comm_rows;
     exec_compiled_print exec_rows;
     tune_print tune;
     let server = server_comparison () in
     let bechamel_rows = benchmark () in
-    write_json ~dist ~comm_rows ~exec_rows ~tune ~runtime_rows ~server ~bechamel_rows
-      "BENCH_results.json"
+    write_json ~dist ~dist_tcp ~comm_rows ~exec_rows ~tune ~runtime_rows ~server
+      ~bechamel_rows "BENCH_results.json"
   end

@@ -1270,12 +1270,15 @@ let run_dist_cmd =
   (* One dist execution: compile, fork, compare against the sequential
      interpreter.  Returns an error string instead of printing so the
      sweep can aggregate. *)
-  let dist_once ?sabotage ?comm_opt ~exec ~loop ~machine ~iterations ~timeout () =
+  let dist_once ?sabotage ?comm_opt ?transport ?(respawn = 0) ~exec ~loop ~machine
+      ~iterations ~timeout () =
     match compile_for_run ?comm_opt ~loop ~machine ~iterations ~no_cache:false () with
     | Error e -> Error e
     | Ok (flat, _full, program, stats) -> (
       let rexec = match exec with `Compiled -> `Compiled | `Interp -> `Interp in
-      match Runner.run ?sabotage ~timeout ~exec:rexec ~loop:flat ~program () with
+      match
+        Runner.run ?sabotage ?transport ~respawn ~timeout ~exec:rexec ~loop:flat ~program ()
+      with
       | exception Runner.Dist_error f -> Error ("dist failure: " ^ Runner.describe f)
       | outcome -> (
         match VR.check_against_sequential ~loop:flat ~iterations outcome with
@@ -1283,11 +1286,43 @@ let run_dist_cmd =
         | Ok () -> Ok (flat, program, stats, outcome)))
   in
   let run src file seed processors k iterations timeout probe vs_domains sweep fault
-      auto_k drift_threshold comm_opt comm_window trace exec =
+      tcp connect respawn auto_k drift_threshold comm_opt comm_window trace exec =
     let comm_opt = if comm_opt then Some comm_window else None in
     guard_broken_pipe @@ fun () ->
     with_trace trace @@ fun () ->
     let machine = machine_of processors k in
+    (* The TCP transport is implied by anything that needs it: an
+       explicit roster, or the handshake fault (which only exists on
+       the rendezvous path). *)
+    let want_tcp = tcp || Option.is_some connect || fault = `Handshake_fp in
+    let roster =
+      match connect with
+      | None -> Ok None
+      | Some spec ->
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | s :: rest -> (
+            match Mimd_dist.Mesh_tcp.addr_of_string s with
+            | Ok a -> go (a :: acc) rest
+            | Error e -> Error e)
+        in
+        go [] (String.split_on_char ',' spec)
+    in
+    match roster with
+    | Error e ->
+      prerr_endline ("mimdloop: --connect: " ^ e);
+      1
+    | Ok roster ->
+    let transport =
+      if not want_tcp then None
+      else
+        Some
+          (Runner.Tcp
+             {
+               roster;
+               handshake_fault = (if fault = `Handshake_fp then Some 0 else None);
+             })
+    in
     (* Forks before domains, always: probe and dist runs come first;
        the in-domain comparison (--vs-domains) runs last. *)
     if probe then
@@ -1300,14 +1335,18 @@ let run_dist_cmd =
       let failures = ref [] in
       for seed = 1 to sweep do
         let loop = W.Random_loop.generate_loop ~seed () in
-        match dist_once ?comm_opt ~exec ~loop ~machine ~iterations ~timeout () with
+        match
+          dist_once ?comm_opt ?transport ~respawn ~exec ~loop ~machine ~iterations
+            ~timeout ()
+        with
         | Ok _ -> ()
         | Error e -> failures := (seed, e) :: !failures
       done;
       match !failures with
       | [] ->
-        Format.printf "sweep OK: %d seeded loop(s) bit-identical over the socket backend@."
-          sweep;
+        Format.printf "sweep OK: %d seeded loop(s) bit-identical over the %s backend@."
+          sweep
+          (if want_tcp then "loopback-TCP" else "socket");
         0
       | fs ->
         List.iter
@@ -1375,26 +1414,36 @@ let run_dist_cmd =
         in
         let sabotage =
           match fault with
-          | `None -> None
+          | `None | `Handshake_fp -> None
           | `Kill_child ->
+            (* Deterministic mid-run sabotage: SIGKILL the PE0 child
+               right after the collective start; the supervisor must
+               surface a structured child-exit error and reap the
+               rest.  One-shot, so --respawn can demonstrate recovery:
+               a kill on every attempt would just exhaust any budget. *)
+            let armed = ref true in
             Some
               (fun pids ->
-                (* Deterministic mid-run sabotage: SIGKILL the PE0
-                   child right after the collective start; the
-                   supervisor must surface a structured child-exit
-                   error and reap the rest. *)
-                try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ())
+                if !armed then begin
+                  armed := false;
+                  try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ()
+                end)
         in
-        match dist_once ?sabotage ?comm_opt ~exec ~loop ~machine ~iterations ~timeout () with
+        match
+          dist_once ?sabotage ?comm_opt ?transport ~respawn ~exec ~loop ~machine
+            ~iterations ~timeout ()
+        with
         | Error e ->
           prerr_endline ("mimdloop: " ^ e);
           1
         | Ok (flat, program, stats, outcome) ->
           Option.iter print_comm_stats stats;
           Format.printf
-            "OK: %d forked process(es) computed all %d iteration(s) bit-identically to \
-             the sequential interpreter@."
-            outcome.VR.domains iterations;
+            "OK: %d forked process(es)%s computed all %d iteration(s) bit-identically \
+             to the sequential interpreter@."
+            outcome.VR.domains
+            (if want_tcp then " over TCP" else "")
+            iterations;
           Format.printf "  messages: %d, wall-clock makespan: %.0f us@." outcome.VR.messages
             (outcome.VR.makespan_ns /. 1e3);
           Array.iteri
@@ -1450,25 +1499,55 @@ let run_dist_cmd =
                  sequential interpreter (ignores --src/--file/--seed).")
   in
   let fault_t =
-    let faults = [ ("none", `None); ("kill-child", `Kill_child) ] in
+    let faults =
+      [
+        ("none", `None); ("kill-child", `Kill_child);
+        ("handshake-fingerprint", `Handshake_fp);
+      ]
+    in
     Arg.(value & opt (enum faults) `None & info [ "inject-fault" ] ~docv:"FAULT"
            ~doc:"Deliberately sabotage the run to demonstrate the failure exits: \
                  $(b,kill-child) SIGKILLs one child mid-run (the supervisor must report \
-                 a structured child-exit error and reap every process).")
+                 a structured child-exit error and reap every process); \
+                 $(b,handshake-fingerprint) makes one PE present a corrupted schedule \
+                 fingerprint at the TCP rendezvous (implies $(b,--tcp); the run must \
+                 fail structurally before any value is computed).")
+  in
+  let tcp_t =
+    Arg.(value & flag & info [ "tcp" ]
+           ~doc:"Use the TCP transport for the processor mesh: per-PE loopback \
+                 listeners on ephemeral ports, dialed after the fork with a \
+                 fingerprint-checked rendezvous handshake, TCP_NODELAY on every link.  \
+                 Values are bit-identical to the Unix-socketpair transport.")
+  in
+  let connect_t =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT[,HOST:PORT...]"
+           ~doc:"Pin the TCP rendezvous roster: PE $(i,i) listens on the $(i,i)-th \
+                 address (the list length must equal $(b,-p)).  Implies $(b,--tcp).  \
+                 An empty host means loopback.  This is the multi-host building block \
+                 documented in docs/DISTRIBUTED.md.")
+  in
+  let respawn_t =
+    Arg.(value & opt int 0 & info [ "respawn" ] ~docv:"N"
+           ~doc:"Retry the whole run up to $(docv) times after a child crash or stall \
+                 (a run is a deterministic pure function, so the retry is sound; every \
+                 failure path reaps all children first).  Child-side errors are never \
+                 retried — they recur deterministically.")
   in
   Cmd.v
     (Cmd.info "run-dist"
        ~doc:"Execute a compiled loop on forked OS processes connected by Unix-domain \
-             sockets (one process per scheduled processor) and check the values against \
-             the sequential interpreter")
+             sockets or TCP (one process per scheduled processor) and check the values \
+             against the sequential interpreter")
     Term.(
       const run $ src_t $ file_t $ seed_t $ processors_t $ k_t $ iterations_t
-      $ dist_timeout_t $ probe_t $ vs_domains_t $ sweep_t $ fault_t $ auto_k_t
-      $ drift_threshold_t $ comm_opt_t $ comm_window_t $ trace_t $ exec_t)
+      $ dist_timeout_t $ probe_t $ vs_domains_t $ sweep_t $ fault_t $ tcp_t $ connect_t
+      $ respawn_t $ auto_k_t $ drift_threshold_t $ comm_opt_t $ comm_window_t $ trace_t
+      $ exec_t)
 
 let route_cmd =
   let run workers socket worker_dir max_inflight jobs queue_depth cache_dir no_disk_cache
-      validate auto_k trace =
+      validate auto_k trace respawn slo_ms slo_interval drift_threshold =
     if workers < 1 then begin
       prerr_endline "mimdloop: route needs --workers >= 1";
       1
@@ -1503,6 +1582,10 @@ let route_cmd =
                Some (Option.value ~default:(Mimd_server.Disk_cache.default_dir ()) cache_dir));
           validate;
           trace;
+          respawn = max 0 respawn;
+          slo_ms;
+          slo_interval = Float.max 0.2 slo_interval;
+          drift_threshold;
         }
       in
       let code = Mimd_dist.Router.serve cfg in
@@ -1530,15 +1613,41 @@ let route_cmd =
            ~doc:"Admission control: bound on compile requests in flight across the \
                  fleet; the excess is shed with a structured $(b,overload) error.")
   in
+  let respawn_t =
+    Arg.(value & opt int 0 & info [ "respawn" ] ~docv:"N"
+           ~doc:"Supervise the fleet: re-fork a dead worker up to $(docv) times (per \
+                 worker), through a warden process forked before the router grows \
+                 threads.  A fleet-wide circuit breaker refuses respawn storms.  \
+                 0 disables supervision.")
+  in
+  let slo_ms_t =
+    Arg.(value & opt (some float) None & info [ "slo-ms" ] ~docv:"MS"
+           ~doc:"Latency SLO: raise a structured $(b,latency) event (visible under \
+                 $(b,stats.slo)) whenever a worker's live request round trip exceeds \
+                 $(docv) milliseconds.")
+  in
+  let slo_interval_t =
+    Arg.(value & opt float 2.0 & info [ "slo-interval" ] ~docv:"SECONDS"
+           ~doc:"How often the SLO watcher inspects the live per-worker RTT \
+                 calibration.")
+  in
+  let route_drift_t =
+    Arg.(value & opt (some float) None & info [ "drift-threshold" ] ~docv:"R"
+           ~doc:"Closed-loop rescheduling: when a worker's live RTT drifts from its \
+                 baseline by more than the ratio $(docv) (either direction), broadcast \
+                 a $(b,retune) so every worker re-prices its hot compile entries at \
+                 the measured effective k.")
+  in
   Cmd.v
     (Cmd.info "route"
        ~doc:"Sharded serve fleet: a consistent-hash router in front of N forked serve \
-             workers sharing one disk cache, with per-worker health, failover and \
-             bounded-in-flight admission control")
+             workers sharing one disk cache, with per-worker health, failover, respawn \
+             supervision, SLO-driven rescheduling and bounded-in-flight admission \
+             control")
     Term.(
       const run $ workers_t $ socket_t $ worker_dir_t $ max_inflight_t $ jobs_t
       $ queue_depth_t $ cache_dir_t $ no_disk_cache_t $ validate_sched_t $ auto_k_t
-      $ trace_t)
+      $ trace_t $ respawn_t $ slo_ms_t $ slo_interval_t $ route_drift_t)
 
 let tune_cmd =
   let run workload file seed processors k iterations probe_rounds calib_file

@@ -74,18 +74,42 @@ let close_all t = Array.iter close_row t.fds
 
 exception Link_down of { proc : int; peer : int; error : Wire.error }
 
-let chans t ~proc =
+(* The printer matters beyond diagnostics: a child that dies of a
+   peer's link renders this message into its report, and the runner's
+   respawn supervision classifies "link down:" child errors as
+   environmental (retryable) — unlike a child's own deterministic
+   failure. *)
+let () =
+  Printexc.register_printer (function
+    | Link_down { proc; peer; error } ->
+      Some
+        (Printf.sprintf "link down: PE %d lost its link to PE %d (%s)" proc peer
+           (Wire.error_to_string error))
+    | _ -> None)
+
+(* The channel discipline is transport-independent: anything that can
+   map a peer index to a connected stream fd gets the same framing,
+   the same (tag, src) stash for out-of-order arrivals and the same
+   tracing.  [Mesh_tcp] reuses this over dialed TCP connections. *)
+let chans_of ~proc ~(link : int -> Unix.file_descr) =
   let stash : ((int * int) * int, Value_run.payload) Hashtbl.t = Hashtbl.create 64 in
   let traced = Trace.is_enabled () in
   let send ~dst ~tag (v : Value_run.payload) =
-    let fd = link t ~proc ~peer:dst in
+    let fd = link dst in
     let payload : (int * int) * Value_run.payload = (tag, v) in
+    (* A dead peer on the *send* side: SIGPIPE is ignored process-wide,
+       so the write surfaces as EPIPE/ECONNRESET.  Classify it as the
+       link going down, same as EOF on the read side — it is the same
+       environmental event, and respawn supervision keys off the
+       [Link_down] rendering. *)
+    let write () =
+      try Wire.write fd payload
+      with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+        raise (Link_down { proc; peer = dst; error = Wire.Closed })
+    in
     if traced then
-      Trace.span ~cat:"dist"
-        ~args:[ ("dst", string_of_int dst) ]
-        "dist.send"
-        (fun () -> Wire.write fd payload)
-    else Wire.write fd payload
+      Trace.span ~cat:"dist" ~args:[ ("dst", string_of_int dst) ] "dist.send" write
+    else write ()
   in
   let rec pull fd ~src ~tag =
     match (Wire.read fd : ((int * int) * Value_run.payload, Wire.error) result) with
@@ -103,7 +127,7 @@ let chans t ~proc =
       Hashtbl.remove stash (tag, src);
       v
     | None ->
-      let fd = link t ~proc ~peer:src in
+      let fd = link src in
       if traced then
         Trace.span ~cat:"dist"
           ~args:[ ("src", string_of_int src) ]
@@ -112,3 +136,5 @@ let chans t ~proc =
       else pull fd ~src ~tag
   in
   { Value_run.send; recv }
+
+let chans t ~proc = chans_of ~proc ~link:(fun peer -> link t ~proc ~peer)

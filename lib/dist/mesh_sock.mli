@@ -45,3 +45,10 @@ val chans : t -> proc:int -> Mimd_runtime.Value_run.chans
     per (tag, src), exactly the {!Mimd_runtime.Mesh.recv_tag}
     discipline.  Emits [dist.send]/[dist.recv] spans while tracing is
     on. *)
+
+val chans_of :
+  proc:int -> link:(int -> Unix.file_descr) -> Mimd_runtime.Value_run.chans
+(** The same channel discipline over any peer-to-fd mapping —
+    transports ({!Mesh_tcp}) share this rather than reimplementing the
+    framing/stash/trace logic.  Stream errors raise {!Link_down} with
+    this [proc]. *)

@@ -19,6 +19,11 @@ type config = {
   cache_dir : string option;  (** shared disk-cache dir; [None] = off *)
   validate : bool;
   trace : string option;  (** streaming-sink base path *)
+  respawn : int;  (** per-worker respawn budget; 0 = no supervision *)
+  slo_ms : float option;  (** worker-RTT latency SLO; [None] = off *)
+  slo_interval : float;  (** SLO watcher period, seconds *)
+  drift_threshold : float option;
+      (** RTT-drift ratio past which the watcher retunes; [None] = off *)
 }
 
 let default_config ~workers ~socket =
@@ -32,6 +37,10 @@ let default_config ~workers ~socket =
     cache_dir = None;
     validate = false;
     trace = None;
+    respawn = 0;
+    slo_ms = None;
+    slo_interval = 2.0;
+    drift_threshold = None;
   }
 
 (* The shard key: a stable digest of the request's semantic fields.
@@ -48,6 +57,8 @@ let shard_key (p : Protocol.compile_params) =
 (* Worker child: the ordinary serve stack on its own socket.          *)
 
 let auto_jobs () = max 1 (min 4 (Domain.recommended_domain_count ()))
+
+let worker_path cfg idx = Filename.concat cfg.worker_dir (Printf.sprintf "worker-%d.sock" idx)
 
 let run_worker ~idx ~path ~jobs ~queue_depth ~cache_dir ~validate ~trace =
   (* Forked from the router: shed anything inherited that is not ours. *)
@@ -66,28 +77,129 @@ let run_worker ~idx ~path ~jobs ~queue_depth ~cache_dir ~validate ~trace =
   exit code
 
 (* ---------------------------------------------------------------- *)
+(* The warden: the only process allowed to fork after boot.
+
+   OCaml 5 forbids Unix.fork in a process that has ever created a
+   domain — and the router grows reader/client threads the moment the
+   fleet is up.  So respawn supervision forks a *warden* child first,
+   while the router is still single-threaded: a tiny fork server that
+   never creates threads or domains and re-forks workers on command
+   over a Wire-framed socketpair.  Respawned workers are the warden's
+   children (it reaps them); the router only ever talks to them
+   through their serve sockets, exactly like the initial fleet. *)
+
+type warden_cmd = Spawn of int
+type warden_reply = Spawned of { idx : int; pid : int }
+
+type warden = { w_pid : int; w_fd : Unix.file_descr; w_mutex : Mutex.t }
+
+let warden_loop cfg fd =
+  let jobs = match cfg.jobs with Some j -> max 1 j | None -> auto_jobs () in
+  let children = ref [] in
+  let reap_zombies () =
+    children :=
+      List.filter
+        (fun pid ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _ -> false
+          | exception Unix.Unix_error _ -> false)
+        !children
+  in
+  let rec loop () =
+    match (Wire.read fd : (warden_cmd, Wire.error) result) with
+    | Error _ ->
+      (* Router gone (shutdown or crash).  Its shutdown_fleet already
+         asked every live worker to exit over its serve socket; give
+         ours a grace window, then make sure, then leave — no orphans. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec drain () =
+        reap_zombies ();
+        if !children <> [] && Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.05;
+          drain ()
+        end
+      in
+      drain ();
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !children;
+      Unix._exit 0
+    | Ok (Spawn idx) -> (
+      reap_zombies ();
+      let path = worker_path cfg idx in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      match Unix.fork () with
+      | 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        run_worker ~idx ~path ~jobs ~queue_depth:cfg.queue_depth ~cache_dir:cfg.cache_dir
+          ~validate:cfg.validate ~trace:cfg.trace
+      | pid ->
+        children := pid :: !children;
+        (try Wire.write fd (Spawned { idx; pid }) with _ -> ());
+        loop ())
+  in
+  loop ()
+
+(* Fork the warden while the router is still thread-free. *)
+let spawn_warden cfg =
+  let router_fd, warden_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+    (try Unix.close router_fd with Unix.Unix_error _ -> ());
+    warden_loop cfg warden_fd
+  | pid ->
+    (try Unix.close warden_fd with Unix.Unix_error _ -> ());
+    { w_pid = pid; w_fd = router_fd; w_mutex = Mutex.create () }
+
+let warden_spawn w idx =
+  Mutex.lock w.w_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.w_mutex)
+    (fun () ->
+      match
+        Wire.write w.w_fd (Spawn idx);
+        (Wire.read w.w_fd : (warden_reply, Wire.error) result)
+      with
+      | Ok (Spawned { idx = i; pid }) when i = idx -> Some pid
+      | Ok _ | Error _ -> None
+      | exception _ -> None)
+
+(* ---------------------------------------------------------------- *)
 (* Router state                                                       *)
 
-type client = { oc : out_channel; mutex : Mutex.t }
+(* A reply sink.  Real clients wrap their out_channel; the retune
+   broadcast and the SLO watcher install closures that aggregate or
+   discard — which is what lets internal requests ride the ordinary
+   pending/reader path. *)
+type client = { send : string -> unit }
 
-let client_send client line =
-  Mutex.lock client.mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock client.mutex)
-    (fun () ->
-      try
-        output_string client.oc line;
-        output_char client.oc '\n';
-        flush client.oc
-      with Sys_error _ -> () (* client went away; its replies are moot *))
+let client_of_channel oc =
+  let mutex = Mutex.create () in
+  {
+    send =
+      (fun line ->
+        Mutex.lock mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock mutex)
+          (fun () ->
+            try
+              output_string oc line;
+              output_char oc '\n';
+              flush oc
+            with Sys_error _ -> () (* client went away; its replies are moot *)));
+  }
 
-let client_reply client r = client_send client (Protocol.reply_to_line r)
+let client_reply client r = client.send (Protocol.reply_to_line r)
 
 type pending = {
   orig_id : Json.t;
   request : Json.t;  (** full request object, [id] stripped *)
   key : string;
   client : client;
+  admitted : bool;  (** went through admission control (in-flight accounting) *)
   mutable attempts : int;
   mutable sent_at : float;  (** dispatch time; feeds link calibration *)
 }
@@ -106,29 +218,68 @@ type worker = {
 type t = {
   cfg : config;
   ring : Ring.t;
-  workers : worker array;
+  workers : worker array;  (** slot [i] is replaced on respawn *)
+  warden : warden option;
   pending : (int, int * pending) Hashtbl.t;  (* rid -> (worker idx, request) *)
   pending_mutex : Mutex.t;
   next_rid : int Atomic.t;
   inflight : int Atomic.t;
   stop : bool Atomic.t;
-  death_mutex : Mutex.t;  (* serialises failover *)
+  death_mutex : Mutex.t;  (* serialises failover and respawn decisions *)
+  respawn_budget : int array;
+  breaker : Respawn.t;
   (* Router->worker link costs (µs, EWMA over live round trips).  Node
      [cfg.workers] is the router itself.  Refit on every failover so
      the surviving links' picture never stays frozen at boot time. *)
   mutable calib : Calibrate.t;
   calib_mutex : Mutex.t;
+  (* SLO watcher state: per-worker RTT baselines (µs; 0 = unset), the
+     measured cycle time that converts RTT to an effective k, and the
+     bounded recent-event list surfaced in stats. *)
+  baseline_rtt : float array;
+  cycle_ns : float;
+  mutable slo_events : Json.t list;  (* newest first, bounded *)
+  events_mutex : Mutex.t;
+  extra_threads : Thread.t list ref;  (* respawned readers + watcher *)
+  extra_mutex : Mutex.t;
   registry : Metrics.t;
   m_requests : Metrics.counter;
   m_shed : Metrics.counter;
   m_deaths : Metrics.counter;
   m_retries : Metrics.counter;
+  m_respawns : Metrics.counter;
+  m_retunes : Metrics.counter;
+  m_slo_latency : Metrics.counter;
+  m_slo_drift : Metrics.counter;
   m_inflight : Metrics.gauge;
   m_shard_hits : Metrics.counter array;
+  g_rtt : Metrics.gauge array;
+  g_keff : Metrics.gauge array;
 }
 
 let live_workers t =
   Array.fold_left (fun n w -> if w.alive then n + 1 else n) 0 t.workers
+
+let max_slo_events = 32
+
+let push_event t ev =
+  Mutex.lock t.events_mutex;
+  t.slo_events <- ev :: List.filteri (fun i _ -> i < max_slo_events - 1) t.slo_events;
+  Mutex.unlock t.events_mutex
+
+let slo_event ~kind ~worker fields =
+  Json.Obj
+    ([
+       ("kind", Json.String kind);
+       ("worker", Json.Int worker);
+       ("at", Json.Float (Unix.gettimeofday ()));
+     ]
+    @ fields)
+
+let track_thread t th =
+  Mutex.lock t.extra_mutex;
+  t.extra_threads := th :: !(t.extra_threads);
+  Mutex.unlock t.extra_mutex
 
 (* ---------------------------------------------------------------- *)
 (* Spawning and connecting the fleet                                  *)
@@ -160,12 +311,13 @@ let connect_retry ~path ~deadline =
 exception Boot_failure of string
 
 (* Fork the whole fleet FIRST — the router has spawned no domain and
-   no thread yet, which is the only window OCaml 5 allows fork in. *)
+   no thread yet, which is the only window OCaml 5 allows fork in.
+   (Respawns later go through the pre-forked warden.) *)
 let spawn_fleet cfg =
   mkdir_p cfg.worker_dir;
   let jobs = match cfg.jobs with Some j -> max 1 j | None -> auto_jobs () in
   Array.init cfg.workers (fun idx ->
-      let path = Filename.concat cfg.worker_dir (Printf.sprintf "worker-%d.sock" idx) in
+      let path = worker_path cfg idx in
       (try Unix.unlink path with Unix.Unix_error _ -> ());
       match Unix.fork () with
       | 0 ->
@@ -173,30 +325,38 @@ let spawn_fleet cfg =
           ~validate:cfg.validate ~trace:cfg.trace
       | pid -> (idx, pid, path))
 
+(* Dial one worker and prove its serve loop answers (synchronous boot
+   ping) before it joins the fleet — shared by boot and respawn. *)
+let connect_worker ~deadline ~idx ~pid ~path =
+  match connect_retry ~path ~deadline with
+  | None -> Error (Printf.sprintf "worker %d (pid %d) never bound %s" idx pid path)
+  | Some fd -> (
+    let ic = Unix.in_channel_of_descr fd in
+    let w_oc = Unix.out_channel_of_descr fd in
+    output_string w_oc "{\"id\":\"boot\",\"op\":\"ping\"}\n";
+    flush w_oc;
+    let booted =
+      match In_channel.input_line ic with
+      | Some line ->
+        Option.bind (Json.parse_opt line) (fun j ->
+            Option.bind (Json.member "ok" j) Json.to_bool_opt)
+        = Some true
+      | None | (exception Sys_error _) -> false
+    in
+    if booted then
+      Ok { idx; pid; path; fd; ic; w_oc; w_mutex = Mutex.create (); alive = true }
+    else begin
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "worker %d (pid %d) failed its boot ping" idx pid)
+    end)
+
 let connect_fleet spawned =
   let deadline = Unix.gettimeofday () +. 15.0 in
   Array.map
     (fun (idx, pid, path) ->
-      match connect_retry ~path ~deadline with
-      | None ->
-        raise (Boot_failure (Printf.sprintf "worker %d (pid %d) never bound %s" idx pid path))
-      | Some fd ->
-        let ic = Unix.in_channel_of_descr fd in
-        let w_oc = Unix.out_channel_of_descr fd in
-        (* Synchronous boot ping: proves the serve loop is answering
-           before the fleet is declared up (the reader thread takes
-           over this channel afterwards). *)
-        output_string w_oc "{\"id\":\"boot\",\"op\":\"ping\"}\n";
-        flush w_oc;
-        (match In_channel.input_line ic with
-        | Some line
-          when Option.bind (Json.member "ok" (Json.parse line)) Json.to_bool_opt
-               = Some true ->
-          ()
-        | _ ->
-          raise
-            (Boot_failure (Printf.sprintf "worker %d (pid %d) failed its boot ping" idx pid)));
-        { idx; pid; path; fd; ic; w_oc; w_mutex = Mutex.create (); alive = true })
+      match connect_worker ~deadline ~idx ~pid ~path with
+      | Ok w -> w
+      | Error msg -> raise (Boot_failure msg))
     spawned
 
 (* ---------------------------------------------------------------- *)
@@ -204,9 +364,11 @@ let connect_fleet spawned =
 
 let set_inflight t = Metrics.set t.m_inflight (float_of_int (Atomic.get t.inflight))
 
-let finish_request t =
-  Atomic.decr t.inflight;
-  set_inflight t
+let finish_request t p =
+  if p.admitted then begin
+    Atomic.decr t.inflight;
+    set_inflight t
+  end
 
 let strip_id json =
   match json with
@@ -230,13 +392,18 @@ let worker_send w line =
         true
       with Sys_error _ -> false)
 
-let rec handle_worker_death t idx =
+(* Failover takes the dead worker's *record*, not its index: respawn
+   replaces [t.workers.(idx)], and a racing EOF/EPIPE observed on the
+   old record must not take down the fresh one. *)
+let rec handle_worker_death t (w : worker) =
+  let idx = w.idx in
   Mutex.lock t.death_mutex;
-  let w = t.workers.(idx) in
-  let was_alive = w.alive in
+  let was_alive = t.workers.(idx) == w && w.alive in
   if was_alive then begin
     w.alive <- false;
     (try Unix.close w.fd with Unix.Unix_error _ -> ());
+    (* Initial workers are our children; respawned ones are the
+       warden's (its reap).  ECHILD is expected for the latter. *)
     (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
     if not (Atomic.get t.stop) then Metrics.inc t.m_deaths
   end;
@@ -275,7 +442,8 @@ let rec handle_worker_death t idx =
       (fun (_, p) ->
         Metrics.inc t.m_retries;
         dispatch t p)
-      orphaned
+      orphaned;
+    maybe_respawn t idx
   end
 
 and dispatch t p =
@@ -288,7 +456,7 @@ and dispatch t p =
            kind = Protocol.Internal;
            message = "request could not be placed on any worker";
          });
-    finish_request t
+    finish_request t p
   end
   else
     match Ring.lookup t.ring ~key:p.key ~alive:(fun i -> t.workers.(i).alive) with
@@ -296,7 +464,7 @@ and dispatch t p =
       client_reply p.client
         (Protocol.Error
            { id = p.orig_id; kind = Protocol.Internal; message = "no live workers" });
-      finish_request t
+      finish_request t p
     | Some idx ->
       let w = t.workers.(idx) in
       Metrics.inc t.m_shard_hits.(idx);
@@ -309,15 +477,61 @@ and dispatch t p =
       if not (worker_send w line) then begin
         (* The write itself found the worker dead: failover now (the
            entry we just registered rides along with the rest). *)
-        handle_worker_death t idx
+        handle_worker_death t w
       end
 
-(* Reader thread: one per worker, owns that worker's inbound side. *)
-let reader_loop t idx =
-  let w = t.workers.(idx) in
+(* Respawn supervision: budgeted per worker, storm-bounded fleet-wide.
+   Runs on whichever thread observed the death (reader or dispatcher);
+   the warden does the actual fork. *)
+and maybe_respawn t idx =
+  match t.warden with
+  | None -> ()
+  | Some warden ->
+    let admitted =
+      Mutex.lock t.death_mutex;
+      let was_tripped = Respawn.tripped t.breaker in
+      let ok = t.respawn_budget.(idx) > 0 && Respawn.record t.breaker in
+      if ok then t.respawn_budget.(idx) <- t.respawn_budget.(idx) - 1;
+      let now_tripped = Respawn.tripped t.breaker in
+      Mutex.unlock t.death_mutex;
+      if now_tripped && not was_tripped then
+        push_event t
+          (slo_event ~kind:"breaker_tripped" ~worker:idx
+             [
+               ("limit", Json.Int (Respawn.limit t.breaker));
+               ("window_s", Json.Float (Respawn.window t.breaker));
+             ]);
+      ok
+    in
+    if admitted then begin
+      Trace.instant ~args:[ ("worker", string_of_int idx) ] "route.respawn";
+      match warden_spawn warden idx with
+      | None ->
+        push_event t
+          (slo_event ~kind:"respawn_failed" ~worker:idx
+             [ ("reason", Json.String "warden unreachable") ])
+      | Some pid -> (
+        let deadline = Unix.gettimeofday () +. 15.0 in
+        match connect_worker ~deadline ~idx ~pid ~path:(worker_path t.cfg idx) with
+        | Error msg ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          push_event t
+            (slo_event ~kind:"respawn_failed" ~worker:idx [ ("reason", Json.String msg) ])
+        | Ok w ->
+          Mutex.lock t.death_mutex;
+          t.workers.(idx) <- w;
+          Mutex.unlock t.death_mutex;
+          Metrics.inc t.m_respawns;
+          push_event t (slo_event ~kind:"respawn" ~worker:idx [ ("pid", Json.Int pid) ]);
+          track_thread t (Thread.create (reader_loop t) w))
+    end
+
+(* Reader thread: one per worker incarnation, owns that worker's
+   inbound side. *)
+and reader_loop t (w : worker) =
   let rec loop () =
     match In_channel.input_line w.ic with
-    | None | (exception Sys_error _) -> handle_worker_death t idx
+    | None | (exception Sys_error _) -> handle_worker_death t w
     | Some line -> (
       match Json.parse line with
       | exception Json.Parse_error _ -> loop () (* torn frame from a dying worker *)
@@ -344,7 +558,7 @@ let reader_loop t idx =
                      fields)
               | other -> other
             in
-            client_send p.client (Json.to_string restored);
+            p.client.send (Json.to_string restored);
             if p.sent_at > 0.0 then begin
               let cost = (Unix.gettimeofday () -. p.sent_at) *. 1e6 in
               Mutex.lock t.calib_mutex;
@@ -352,15 +566,171 @@ let reader_loop t idx =
                 [ { Calibrate.src = Calibrate.procs t.calib - 1; dst = wi; cost } ];
               Mutex.unlock t.calib_mutex
             end;
-            finish_request t));
+            finish_request t p));
         loop ())
   in
   loop ()
 
 (* ---------------------------------------------------------------- *)
+(* Retune broadcast                                                   *)
+
+(* Fan a retune out to every live worker through the ordinary
+   pending/reader path (each pending entry's client is an aggregating
+   closure) and reply once with the summed outcome.  The SLO watcher
+   calls this with a discarding client; the [retune] protocol op calls
+   it with the real one. *)
+let router_retune t ~k ~id ~client =
+  Metrics.inc t.m_retunes;
+  let live = List.filter (fun w -> w.alive) (Array.to_list t.workers) in
+  if live = [] then
+    client_reply client
+      (Protocol.Error { id; kind = Protocol.Internal; message = "no live workers" })
+  else begin
+    let remaining = ref (List.length live) in
+    let entries = ref 0 and recompiled = ref 0 in
+    let agg = Mutex.create () in
+    let collector =
+      {
+        send =
+          (fun line ->
+            let last =
+              Mutex.lock agg;
+              (match Json.parse line with
+              | exception Json.Parse_error _ -> ()
+              | j -> (
+                match Json.member "retuned" j with
+                | Some r ->
+                  let field name =
+                    Option.value ~default:0
+                      (Option.bind (Json.member name r) Json.to_int_opt)
+                  in
+                  entries := !entries + field "entries";
+                  recompiled := !recompiled + field "recompiled"
+                | None -> () (* a worker died mid-retune: count it as zero *)));
+              decr remaining;
+              let l = !remaining <= 0 in
+              Mutex.unlock agg;
+              l
+            in
+            if last then
+              client_reply client
+                (Protocol.Retuned
+                   {
+                     id;
+                     result = { Protocol.k; entries = !entries; recompiled = !recompiled };
+                   }))
+      }
+    in
+    let request = Json.Obj [ ("op", Json.String "retune"); ("k", Json.Int k) ] in
+    List.iter
+      (fun w ->
+        let p =
+          {
+            orig_id = Json.Null;
+            request;
+            key = "retune";
+            client = collector;
+            admitted = false;
+            (* at the attempts bound already: a death mid-retune must
+               answer the collector (as an error), not re-broadcast *)
+            attempts = Array.length t.workers + 1;
+            sent_at = 0.0;
+          }
+        in
+        let rid = Atomic.fetch_and_add t.next_rid 1 in
+        Mutex.lock t.pending_mutex;
+        Hashtbl.replace t.pending rid (w.idx, p);
+        Mutex.unlock t.pending_mutex;
+        if not (worker_send w (Json.to_string (with_rid request rid))) then
+          handle_worker_death t w)
+      live
+  end
+
+(* ---------------------------------------------------------------- *)
+(* SLO watcher: alerts over live RTTs, closed-loop rescheduling       *)
+
+(* Convert a router->worker round trip into the scheduler's currency:
+   the effective per-message cost k, in units of the calibrated cycle
+   time — the same conversion Linkprobe renders after a probe. *)
+let effective_k t rtt_us = rtt_us *. 1e3 /. t.cycle_ns
+
+let watcher_scan t =
+  let row =
+    Mutex.lock t.calib_mutex;
+    let m = Calibrate.measured t.calib in
+    let r = Array.copy m.(Calibrate.procs t.calib - 1) in
+    Mutex.unlock t.calib_mutex;
+    r
+  in
+  Array.iteri
+    (fun idx w ->
+      let rtt_us = row.(idx) in
+      if w.alive && rtt_us > 0.0 then begin
+        Metrics.set t.g_rtt.(idx) rtt_us;
+        let keff = effective_k t rtt_us in
+        Metrics.set t.g_keff.(idx) keff;
+        (match t.cfg.slo_ms with
+        | Some slo when rtt_us /. 1e3 > slo ->
+          Metrics.inc t.m_slo_latency;
+          push_event t
+            (slo_event ~kind:"latency" ~worker:idx
+               [
+                 ("rtt_ms", Json.Float (rtt_us /. 1e3)); ("threshold_ms", Json.Float slo);
+               ]);
+          Trace.instant
+            ~args:[ ("worker", string_of_int idx); ("rtt_ms", Printf.sprintf "%.2f" (rtt_us /. 1e3)) ]
+            "route.slo"
+        | _ -> ());
+        match t.cfg.drift_threshold with
+        | None -> ()
+        | Some thr ->
+          if t.baseline_rtt.(idx) <= 0.0 then t.baseline_rtt.(idx) <- rtt_us
+          else begin
+            let base = t.baseline_rtt.(idx) in
+            let ratio = Float.max (rtt_us /. base) (base /. rtt_us) in
+            if ratio > thr then begin
+              Metrics.inc t.m_slo_drift;
+              push_event t
+                (slo_event ~kind:"drift" ~worker:idx
+                   [
+                     ("ratio", Json.Float ratio);
+                     ("threshold", Json.Float thr);
+                     ("effective_k", Json.Float keff);
+                   ]);
+              (* Re-anchor so one sustained shift fires one retune,
+                 not one per scan. *)
+              t.baseline_rtt.(idx) <- rtt_us;
+              let k = max 1 (int_of_float (Float.round keff)) in
+              Trace.instant
+                ~args:[ ("worker", string_of_int idx); ("k", string_of_int k) ]
+                "route.retune_trigger";
+              router_retune t ~k ~id:Json.Null ~client:{ send = ignore }
+            end
+          end
+      end)
+    t.workers
+
+let watcher_loop t =
+  let slept = ref 0.0 in
+  while not (Atomic.get t.stop) do
+    Unix.sleepf 0.1;
+    slept := !slept +. 0.1;
+    if !slept >= t.cfg.slo_interval then begin
+      slept := 0.0;
+      if not (Atomic.get t.stop) then watcher_scan t
+    end
+  done
+
+(* ---------------------------------------------------------------- *)
 (* Router-answered ops                                                *)
 
 let stats_json t =
+  let events =
+    Mutex.lock t.events_mutex;
+    let e = t.slo_events in
+    Mutex.unlock t.events_mutex;
+    e
+  in
   Json.Obj
     [
       ("router", Json.Bool true);
@@ -383,7 +753,28 @@ let stats_json t =
       ("shed", Json.Int (Metrics.counter_value t.m_shed));
       ("worker_deaths", Json.Int (Metrics.counter_value t.m_deaths));
       ("retries", Json.Int (Metrics.counter_value t.m_retries));
+      ("respawns", Json.Int (Metrics.counter_value t.m_respawns));
+      ( "respawn",
+        Json.Obj
+          [
+            ("enabled", Json.Bool (t.warden <> None));
+            ( "budget",
+              Json.List
+                (Array.to_list (Array.map (fun b -> Json.Int b) t.respawn_budget)) );
+            ("breaker_tripped", Json.Bool (Respawn.tripped t.breaker));
+          ] );
+      ("retunes", Json.Int (Metrics.counter_value t.m_retunes));
       ("recalibrations", Json.Int (Drift.recalibrations ~metrics:t.registry ()));
+      ( "slo",
+        Json.Obj
+          [
+            ( "latency_threshold_ms",
+              match t.cfg.slo_ms with Some v -> Json.Float v | None -> Json.Null );
+            ( "drift_threshold",
+              match t.cfg.drift_threshold with Some v -> Json.Float v | None -> Json.Null
+            );
+            ("events", Json.List events);
+          ] );
       ( "calibration",
         (let updates, links, row =
            Mutex.lock t.calib_mutex;
@@ -402,6 +793,11 @@ let stats_json t =
              ( "worker_rtt_us",
                Json.List
                  (List.init (Array.length t.workers) (fun i -> Json.Float row.(i))) );
+             ( "effective_k",
+               Json.List
+                 (List.init (Array.length t.workers) (fun i ->
+                      if row.(i) > 0.0 then Json.Float (effective_k t row.(i))
+                      else Json.Null)) );
            ]) );
     ]
 
@@ -420,7 +816,14 @@ let shutdown_fleet t =
     t.workers;
   Array.iter
     (fun w -> try Unix.unlink w.path with Unix.Unix_error _ -> ())
-    t.workers
+    t.workers;
+  (* EOF on the command channel is the warden's shutdown signal; it
+     reaps its own children (respawned workers) before exiting. *)
+  match t.warden with
+  | None -> ()
+  | Some w ->
+    (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ())
 
 (* ---------------------------------------------------------------- *)
 (* Client connections                                                 *)
@@ -428,7 +831,7 @@ let shutdown_fleet t =
 let serve_client t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let client = { oc; mutex = Mutex.create () } in
+  let client = client_of_channel oc in
   let rec loop () =
     if Atomic.get t.stop then ()
     else
@@ -454,6 +857,12 @@ let serve_client t fd =
           set_inflight t;
           client_reply client
             (Protocol.Metrics_reply { id; text = Metrics.render t.registry });
+          loop ()
+        | Ok (Protocol.Retune { id; k }) ->
+          Metrics.inc t.m_requests;
+          (* Broadcast: every live worker re-prices its hot set at k;
+             the aggregated outcome comes back on this connection. *)
+          router_retune t ~k ~id ~client;
           loop ()
         | Ok (Protocol.Shutdown { id }) ->
           Metrics.inc t.m_requests;
@@ -498,6 +907,7 @@ let serve_client t fd =
                 request;
                 key = shard_key params;
                 client;
+                admitted = true;
                 attempts = 0;
                 sent_at = 0.0;
               }
@@ -512,6 +922,9 @@ let serve_client t fd =
 let serve cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let spawned = spawn_fleet cfg in
+  (* The warden forks second, still pre-thread; it must exist before
+     the router grows reader threads or respawn is impossible. *)
+  let warden = if cfg.respawn > 0 then Some (spawn_warden cfg) else None in
   (* Only now may this process create threads; and the parent's own
      streaming sink opens after the forks so children never inherit
      the fd. *)
@@ -525,23 +938,43 @@ let serve cfg =
         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
       spawned;
+    (match warden with
+    | None -> ()
+    | Some w ->
+      (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
     prerr_endline ("mimdloop: route: " ^ msg);
     1
   | workers ->
     let registry = Metrics.create () in
+    let labeled name help =
+      Array.init cfg.workers (fun i ->
+          Metrics.gauge ~help ~labels:[ ("worker", string_of_int i) ] registry name)
+    in
     let t =
       {
         cfg;
         ring = Ring.create cfg.workers;
         workers;
+        warden;
         pending = Hashtbl.create 64;
         pending_mutex = Mutex.create ();
         next_rid = Atomic.make 1;
         inflight = Atomic.make 0;
         stop = Atomic.make false;
         death_mutex = Mutex.create ();
+        respawn_budget = Array.make cfg.workers (max 0 cfg.respawn);
+        (* Storm bound: a healthy fleet never needs more than a couple
+           of respawns per worker inside one window. *)
+        breaker = Respawn.create ~limit:(max 4 (2 * cfg.workers)) ();
         calib = Calibrate.create ~procs:(cfg.workers + 1) ();
         calib_mutex = Mutex.create ();
+        baseline_rtt = Array.make cfg.workers 0.0;
+        cycle_ns = Linkprobe.calibrate_cycle_ns ();
+        slo_events = [];
+        events_mutex = Mutex.create ();
+        extra_threads = ref [];
+        extra_mutex = Mutex.create ();
         registry;
         m_requests =
           Metrics.counter ~help:"Requests received by the router" registry
@@ -555,6 +988,20 @@ let serve cfg =
         m_retries =
           Metrics.counter ~help:"Requests re-dispatched after a worker death" registry
             "mimd_route_retries_total";
+        m_respawns =
+          Metrics.counter ~help:"Workers respawned by the warden" registry
+            "mimd_dist_respawns_total";
+        m_retunes =
+          Metrics.counter ~help:"Retune broadcasts (client- or SLO-initiated)" registry
+            "mimd_route_retunes_total";
+        m_slo_latency =
+          Metrics.counter ~help:"SLO events raised, by kind"
+            ~labels:[ ("kind", "latency") ]
+            registry "mimd_route_slo_events_total";
+        m_slo_drift =
+          Metrics.counter ~help:"SLO events raised, by kind"
+            ~labels:[ ("kind", "drift") ]
+            registry "mimd_route_slo_events_total";
         m_inflight =
           Metrics.gauge ~help:"Compile requests currently in flight" registry
             "mimd_route_inflight";
@@ -563,11 +1010,17 @@ let serve cfg =
               Metrics.counter ~help:"Requests dispatched, by worker"
                 ~labels:[ ("worker", string_of_int i) ]
                 registry "mimd_route_shard_hits_total");
+        g_rtt =
+          labeled "mimd_route_worker_rtt_us" "EWMA router->worker round trip, microseconds";
+        g_keff =
+          labeled "mimd_route_worker_effective_k"
+            "Effective per-message cost k measured from live round trips";
       }
     in
     let readers =
-      Array.to_list (Array.map (fun w -> Thread.create (reader_loop t) w.idx) workers)
+      Array.to_list (Array.map (fun w -> Thread.create (reader_loop t) w) workers)
     in
+    let watcher = Thread.create watcher_loop t in
     (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
     let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
@@ -616,6 +1069,11 @@ let serve cfg =
     List.iter Thread.join !threads;
     shutdown_fleet t;
     List.iter Thread.join readers;
+    Thread.join watcher;
+    Mutex.lock t.extra_mutex;
+    let extras = !(t.extra_threads) in
+    Mutex.unlock t.extra_mutex;
+    List.iter Thread.join extras;
     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
     (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
     Trace.close_sink ();

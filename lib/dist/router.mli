@@ -11,18 +11,42 @@
     [overload] error.  When a worker process dies, its in-flight
     requests re-shard onto the survivors (accepted requests are never
     dropped while any worker lives) and the death is surfaced in
-    [stats]/metrics; there is no automatic respawn — the failure
-    model is documented in [docs/DISTRIBUTED.md].
+    [stats]/metrics.
+
+    {b Respawn supervision} ([respawn > 0]): a {e warden} process —
+    forked while the router is still single-threaded, because OCaml 5
+    forbids [fork] after the first thread/domain — re-forks a dead
+    worker on command over a Wire-framed socketpair.  Each worker
+    carries a respawn budget of [respawn]; a fleet-wide
+    {!Respawn} circuit breaker bounds respawn storms (a worker dying
+    of its environment would otherwise turn the supervisor into a
+    fork bomb).  A respawned worker is dialed, boot-pinged, swapped
+    into the fleet and given a fresh reader thread; every respawn
+    bumps [mimd_dist_respawns_total].
+
+    {b SLO watcher}: every [slo_interval] seconds the router inspects
+    its live per-worker RTT calibration (EWMA over real request round
+    trips).  RTTs past [slo_ms] raise structured [latency] events;
+    when a worker's RTT drifts from its baseline by more than
+    [drift_threshold] (a ratio, either direction), the router
+    converts the observed RTT into an effective per-message cost [k]
+    (via {!Linkprobe.calibrate_cycle_ns}) and broadcasts a [retune]
+    to the fleet — every worker re-prices its hot compile entries at
+    the measured [k], closing the loop from live latency back into
+    the schedules being served.  Events surface under [stats.slo];
+    per-worker RTT and effective-[k] gauges under [metrics].
 
     Router-answered ops: [ping], [stats] (fleet topology: worker
-    pids, liveness, in-flight, shed/retry counts), [metrics] (the
-    [mimd_route_*] registry), [shutdown] (stops the fleet).
-    [compile] is forwarded with a router-assigned id and the reply is
-    mapped back to the client's id.
+    pids, liveness, in-flight, shed/retry/respawn counts, SLO
+    events), [metrics] (the [mimd_route_*] registry), [retune]
+    (broadcast to every live worker; the aggregated
+    entries/recompiled totals come back in one reply), [shutdown]
+    (stops the fleet).  [compile] is forwarded with a router-assigned
+    id and the reply is mapped back to the client's id.
 
     Fork ordering: the fleet forks before the router creates any
-    thread, and worker children build their own domain pools — see
-    {!Runner} for the OCaml 5 constraint. *)
+    thread, then the warden, and only then threads — see {!Runner}
+    for the OCaml 5 constraint. *)
 
 type config = {
   workers : int;  (** fleet size (>= 1) *)
@@ -36,11 +60,22 @@ type config = {
   trace : string option;
       (** streaming-sink base: the router streams to this path, worker
           [i] to [<path>.worker<i>] (see {!Mimd_obs.Trace.set_sink}) *)
+  respawn : int;
+      (** per-worker respawn budget; 0 disables supervision (no warden
+          is forked) *)
+  slo_ms : float option;
+      (** worker-RTT latency SLO in milliseconds; [None] = no latency
+          events *)
+  slo_interval : float;  (** watcher period, seconds *)
+  drift_threshold : float option;
+      (** RTT-over-baseline ratio past which the watcher fires a
+          retune broadcast; [None] = no closed-loop rescheduling *)
 }
 
 val default_config : workers:int -> socket:string -> config
 (** [max_inflight 64], [queue_depth 64], auto jobs, no disk cache, no
-    validation, no trace; [worker_dir] beside the socket. *)
+    validation, no trace, no respawn, no SLO thresholds,
+    [slo_interval 2.0]; [worker_dir] beside the socket. *)
 
 val shard_key : Mimd_server.Protocol.compile_params -> string
 (** The digest the router shards by: loop source, processors, [k] and
@@ -51,4 +86,5 @@ val serve : config -> int
 (** Spawn the fleet, wait for every worker's boot ping, serve until a
     [shutdown] request; returns the exit code.  Worker sockets and
     the router socket are unlinked on the way out; all children are
-    reaped. *)
+    reaped (respawned workers by the warden, which exits when the
+    router closes its command channel). *)

@@ -5,6 +5,7 @@ module Interp = Mimd_loop_ir.Interp
 module Value_run = Mimd_runtime.Value_run
 module Trace = Mimd_obs.Trace
 module Clock = Mimd_obs.Clock
+module Metrics = Mimd_obs.Metrics
 
 type child_ok = {
   computed : ((int * int) * float) list;
@@ -47,13 +48,29 @@ let describe = function
     Printf.sprintf "child for PE %d died without reporting (%s)" proc status
   | Child_error { proc; message } -> Printf.sprintf "child for PE %d failed: %s" proc message
 
+type transport =
+  | Unix_sockets
+  | Tcp of { roster : Mesh_tcp.addr list option; handshake_fault : int option }
+
+(* The identity the TCP rendezvous handshake enforces: a digest of the
+   exact loop + program pair every peer must be executing.  Two
+   parents that compiled independently agree on it iff they compiled
+   the same schedule. *)
+let fingerprint ~loop ~program =
+  Digest.to_hex (Digest.string (Marshal.to_string (loop, program) []))
+
+let respawns_counter () =
+  Metrics.counter ~help:"Distributed workers/runs respawned after a failure"
+    Metrics.default "mimd_dist_respawns_total"
+
 (* Fork one process per scheduled processor.  MUST run before this
    process ever spawns a domain: OCaml 5 forbids Unix.fork once any
    domain was created (even a joined one), which is why run-dist does
    its socket run before any in-domain comparison and why the dist
    test suite runs first. *)
-let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0)
-    ?channel_capacity ?sabotage ?(exec = `Compiled) ~loop ~program () =
+let run_once ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0)
+    ?channel_capacity ?sabotage ?(transport = Unix_sockets) ?(exec = `Compiled) ~loop
+    ~program () =
   if not (Ast.is_flat loop) then invalid_arg "Runner.run: loop must be flat";
   if List.length (Ast.assignments loop) <> Graph.node_count program.Program.graph then
     invalid_arg "Runner.run: statement/node count mismatch";
@@ -69,16 +86,26 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0
      SIGPIPE in the supervisor. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let procs = program.Program.processors in
-  let mesh = Mesh_sock.create ?capacity:channel_capacity ~procs () in
+  let mesh =
+    match transport with
+    | Unix_sockets -> `U (Mesh_sock.create ?capacity:channel_capacity ~procs ())
+    | Tcp { roster; handshake_fault } ->
+      `T
+        ( Mesh_tcp.create ?roster ~fingerprint:(fingerprint ~loop ~program) ~procs (),
+          handshake_fault )
+  in
   (* One control socketpair per child, all created before the first
      fork so each child can close every endpoint that is not its own. *)
   let ctl = Array.init procs (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0) in
   let parent_end j = fst ctl.(j) and child_end j = snd ctl.(j) in
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
   let child j =
-    (* Keep: our mesh row and our control endpoint.  Everything else
-       inherited from the parent closes now, so a dead peer is EOF. *)
-    Mesh_sock.retain_only mesh ~proc:j;
+    (* Keep: our mesh row (or listener) and our control endpoint.
+       Everything else inherited from the parent closes now, so a dead
+       peer is EOF. *)
+    (match mesh with
+    | `U m -> Mesh_sock.retain_only m ~proc:j
+    | `T (m, _) -> Mesh_tcp.retain_only m ~proc:j);
     for i = 0 to procs - 1 do
       close_quietly (parent_end i);
       if i <> j then close_quietly (child_end i)
@@ -87,43 +114,70 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0
     (* The fork copied the parent's trace buffer; drop those events so
        a capture holds only this child's own spans. *)
     if Trace.is_enabled () then Trace.clear ();
-    (* Rendezvous: all children start on the parent's "go", so wall
-       clocks measure execution, not staggered spawn. *)
-    let b = Bytes.create 1 in
-    (match Unix.read fd b 0 1 with
-    | 0 -> Unix._exit 2 (* parent vanished before the go *)
-    | _ -> ()
-    | exception Unix.Unix_error _ -> Unix._exit 2);
-    let t0 = Clock.now_ns () in
-    let outcome : report =
-      match
-        let chans = Mesh_sock.chans mesh ~proc:j in
-        match lowered with
-        | Some lowered ->
-          Mimd_runtime.Exec_compiled.worker ~init ~scalars ~lowered ~proc:j
-            ~chans ()
-        | None -> Value_run.worker ~init ~scalars ~loop ~program ~proc:j ~chans ()
-      with
-      | computed, sent ->
-        Ok
-          {
-            computed;
-            sent;
-            wall_ns = float_of_int (Clock.now_ns () - t0);
-            trace = (if Trace.is_enabled () then Some (Trace.capture ()) else None);
-          }
-      | exception e -> Error (Printexc.to_string e)
+    (* TCP only: establish and handshake the whole connection row
+       before the rendezvous, so the parent's "go" still marks the
+       start of execution (not connection setup) and a handshake
+       mismatch fails the run before any peer computes a value. *)
+    let conns =
+      match mesh with
+      | `U m -> Ok (`U m)
+      | `T (m, handshake_fault) -> (
+        let fingerprint =
+          if handshake_fault = Some j then Some "0000deadbeef0000" else None
+        in
+        match Mesh_tcp.connect_all ?fingerprint m ~proc:j with
+        | c -> Ok (`T c)
+        | exception e -> Error (Printexc.to_string e))
     in
-    (try Wire.write fd outcome with _ -> ());
-    Unix._exit (match outcome with Ok _ -> 0 | Error _ -> 1)
+    match conns with
+    | Error message ->
+      (try Wire.write fd (Error message : report) with _ -> ());
+      Unix._exit 1
+    | Ok conns ->
+      (* Rendezvous: all children start on the parent's "go", so wall
+         clocks measure execution, not staggered spawn. *)
+      let b = Bytes.create 1 in
+      (match Unix.read fd b 0 1 with
+      | 0 -> Unix._exit 2 (* parent vanished before the go *)
+      | _ -> ()
+      | exception Unix.Unix_error _ -> Unix._exit 2);
+      let t0 = Clock.now_ns () in
+      let outcome : report =
+        match
+          let chans =
+            match conns with
+            | `U m -> Mesh_sock.chans m ~proc:j
+            | `T c -> Mesh_tcp.chans c
+          in
+          match lowered with
+          | Some lowered ->
+            Mimd_runtime.Exec_compiled.worker ~init ~scalars ~lowered ~proc:j
+              ~chans ()
+          | None -> Value_run.worker ~init ~scalars ~loop ~program ~proc:j ~chans ()
+        with
+        | computed, sent ->
+          Ok
+            {
+              computed;
+              sent;
+              wall_ns = float_of_int (Clock.now_ns () - t0);
+              trace = (if Trace.is_enabled () then Some (Trace.capture ()) else None);
+            }
+        | exception e -> Error (Printexc.to_string e)
+      in
+      (try Wire.write fd outcome with _ -> ());
+      Unix._exit (match outcome with Ok _ -> 0 | Error _ -> 1)
   in
   let pids = Array.make procs (-1) in
   Trace.span ~cat:"dist" ~args:[ ("procs", string_of_int procs) ] "dist.spawn" (fun () ->
       for j = 0 to procs - 1 do
         match Unix.fork () with 0 -> child j | pid -> pids.(j) <- pid
       done);
-  (* Parent: no link endpoints, no child-side control endpoints. *)
-  Mesh_sock.close_all mesh;
+  (* Parent: no link endpoints or listeners, no child-side control
+     endpoints. *)
+  (match mesh with
+  | `U m -> Mesh_sock.close_all m
+  | `T (m, _) -> Mesh_tcp.close_parent m);
   Array.iteri (fun j _ -> close_quietly (child_end j)) ctl;
   let reaped = Array.make procs false in
   let reap_status j =
@@ -216,3 +270,44 @@ let run ?(init = Interp.init) ?(scalars = Interp.default_scalar) ?(timeout = 5.0
       | _ -> ())
     reports;
   Value_run.finalize ~loop ~program ~results
+
+(* Respawn supervision for a one-shot run.  A run is a deterministic
+   pure function of (loop, program, inputs), and a crashed or stalled
+   PE takes its peers' channel state with it — so the sound respawn
+   unit is the {e whole run}, re-forked from scratch (every failure
+   path above already SIGKILLed and reaped the previous attempt).
+   Mid-run single-PE resurrection would need checkpointed channel
+   state; the router's fleet (stateless workers) is where per-worker
+   respawn is sound — see {!Router}.  Child_error is not retried: it
+   is the child's own exception (a handshake mismatch, a codegen bug)
+   and will recur deterministically. *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Which failures may a respawn retry?  Crashes and stalls are
+   environmental.  So is a "link down:" child error — its root cause
+   is a peer's death, and the parent merely lost the race to observe
+   the exit directly.  Every other Child_error is the child's own
+   deterministic exception (a handshake mismatch, a codegen bug) and
+   recurs on retry. *)
+let retryable = function
+  | Child_exit _ | Stalled _ -> true
+  | Child_error { message; _ } -> starts_with ~prefix:"link down:" message
+
+let run ?init ?scalars ?timeout ?channel_capacity ?sabotage ?transport ?exec
+    ?(respawn = 0) ~loop ~program () =
+  let rec attempt remaining =
+    match
+      run_once ?init ?scalars ?timeout ?channel_capacity ?sabotage ?transport ?exec
+        ~loop ~program ()
+    with
+    | outcome -> outcome
+    | exception Dist_error f when retryable f && remaining > 0 ->
+      Metrics.inc (respawns_counter ());
+      Trace.instant
+        ~args:[ ("failure", describe f); ("remaining", string_of_int (remaining - 1)) ]
+        "dist.respawn";
+      attempt (remaining - 1)
+  in
+  attempt (max 0 respawn)

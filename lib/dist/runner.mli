@@ -34,14 +34,31 @@ exception Dist_error of failure
 
 val describe : failure -> string
 
+type transport =
+  | Unix_sockets  (** one inherited socketpair per link ({!Mesh_sock}) *)
+  | Tcp of { roster : Mesh_tcp.addr list option; handshake_fault : int option }
+      (** per-PE listeners + dialed connections ({!Mesh_tcp}): [roster]
+          pins explicit HOST:PORT listen addresses (default: ephemeral
+          loopback ports); [handshake_fault] makes that PE present a
+          corrupted schedule fingerprint — the must-fail rendezvous
+          probe *)
+
+val fingerprint :
+  loop:Mimd_loop_ir.Ast.loop -> program:Mimd_codegen.Program.t -> string
+(** The schedule identity the TCP handshake enforces: a digest of the
+    exact loop + program pair.  Independently compiled peers agree on
+    it iff they compiled the same schedule. *)
+
 val run :
   ?init:(string -> int -> float) ->
   ?scalars:(string -> float) ->
   ?timeout:float ->
   ?channel_capacity:int ->
   ?sabotage:(int array -> unit) ->
+  ?transport:transport ->
   ?exec:
     [ `Compiled | `Compiled_form of Mimd_runtime.Lower.t | `Interp ] ->
+  ?respawn:int ->
   loop:Mimd_loop_ir.Ast.loop ->
   program:Mimd_codegen.Program.t ->
   unit ->
@@ -51,14 +68,25 @@ val run :
     is a fault-injection hook handed the child pids right after the
     collective start — the kill-child tests and
     [run-dist --inject-fault] use it; production callers omit it.
-    [exec] picks the per-child executor: [`Compiled] (default) lowers
-    the program once in the parent and runs
+    [transport] (default {!Unix_sockets}) picks the link layer; both
+    yield bit-identical outcomes (the TCP loopback differential in CI
+    pins this).  [exec] picks the per-child executor: [`Compiled]
+    (default) lowers the program once in the parent and runs
     {!Mimd_runtime.Exec_compiled.worker} in every child,
     [`Compiled_form l] reuses an already-lowered form (e.g. from
     {!Mimd_runtime.Schedule_cache}), [`Interp] runs the interpreted
     {!Mimd_runtime.Value_run.worker}; outcomes are bit-identical
-    either way.  While tracing is on, children capture their own
-    [run.*]/[dist.*] spans and the parent absorbs them into its export
-    on distinct tracks.
+    either way.  [respawn] (default 0) retries the whole run up to
+    that many times after an {e environmental} failure — a
+    [Child_exit], a [Stalled], or a [Child_error] carrying a
+    [link down:] message (a peer's death observed from the wrong
+    side).  A run is a deterministic pure function and every failure
+    path reaps all children first, so the retry is sound; each retry
+    bumps [mimd_dist_respawns_total] on the default metrics registry
+    and emits a [dist.respawn] trace instant.  Any other
+    [Child_error] (the child's own exception, e.g. a handshake
+    mismatch) is never retried — it recurs deterministically.  While tracing is on, children capture
+    their own [run.*]/[dist.*] spans and the parent absorbs them into
+    its export on distinct tracks.
     @raise Invalid_argument on a malformed loop/program pair.
     @raise Dist_error as above; all children are reaped first. *)

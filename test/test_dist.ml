@@ -16,6 +16,8 @@ module Links = Mimd_sim.Links
 module Json = Mimd_server.Json
 module Wire = Mimd_dist.Wire
 module Mesh_sock = Mimd_dist.Mesh_sock
+module Mesh_tcp = Mimd_dist.Mesh_tcp
+module Respawn = Mimd_dist.Respawn
 module Runner = Mimd_dist.Runner
 module Ring = Mimd_dist.Ring
 module Linkprobe = Mimd_dist.Linkprobe
@@ -277,9 +279,9 @@ let compile ?(p = 2) ?(k = 2) ~iterations loop =
   let schedule = Mimd_core.Cyclic_sched.schedule_iterations ~graph ~machine ~iterations () in
   (flat, Mimd_codegen.From_schedule.run ~validate:true schedule)
 
-let dist_differential ~name ?(p = 2) ?(k = 2) ?(iterations = 12) loop =
+let dist_differential ~name ?(p = 2) ?(k = 2) ?(iterations = 12) ?transport loop =
   let flat, program = compile ~p ~k ~iterations loop in
-  let outcome = Runner.run ~loop:flat ~program () in
+  let outcome = Runner.run ?transport ~loop:flat ~program () in
   (match Value_run.check_against_sequential ~loop:flat ~iterations outcome with
   | Ok () -> ()
   | Error e -> Alcotest.failf "%s: socket backend vs interp: %s" name e);
@@ -413,6 +415,225 @@ let test_runner_traces_absorbed () =
   List.iter
     (fun needle -> check_bool (needle ^ " span present") true (contains json needle))
     [ "dist.spawn"; "dist.join"; "run.compute" ]
+
+(* ---------------------------------------------------------------- *)
+(* Mesh_tcp: rendezvous handshake, backoff dial, TCP framing          *)
+
+let test_tcp_addr_parse () =
+  (match Mesh_tcp.addr_of_string "10.1.2.3:9000" with
+  | Ok { Mesh_tcp.host = "10.1.2.3"; port = 9000 } -> ()
+  | Ok a -> Alcotest.failf "parsed to %s" (Mesh_tcp.addr_to_string a)
+  | Error e -> Alcotest.fail e);
+  (match Mesh_tcp.addr_of_string ":7777" with
+  | Ok { Mesh_tcp.port = 7777; host } ->
+    check_bool "empty host means loopback" true (host = "127.0.0.1")
+  | Ok _ | Error _ -> Alcotest.fail "empty-host form rejected");
+  check_bool "no port -> error" true (Result.is_error (Mesh_tcp.addr_of_string "justahost"));
+  check_bool "bad port -> error" true (Result.is_error (Mesh_tcp.addr_of_string "h:nope"));
+  match Mesh_tcp.addr_of_string "h:80" with
+  | Ok a -> check_string "round trip" "h:80" (Mesh_tcp.addr_to_string a)
+  | Error e -> Alcotest.fail e
+
+let test_tcp_handshake_fingerprint_mismatch () =
+  (* Dialer and acceptor hold different schedule fingerprints: the
+     acceptor must reject (naming the mismatch), and the dialer must
+     learn the same verdict from the ack — both fail structurally.
+     A socketpair buffers the tiny frames, so this runs single-
+     threaded: hello first, then both verdicts. *)
+  with_socketpair @@ fun a b ->
+  Mesh_tcp.send_hello a ~fingerprint:"schedule-A" ~src:1 ~dst:0;
+  (match Mesh_tcp.accept_hello b ~fingerprint:"schedule-B" ~self:0 with
+  | _ -> Alcotest.fail "acceptor took a mismatched fingerprint"
+  | exception Mesh_tcp.Handshake_failure { proc = 0; peer = 1; reason } ->
+    check_bool "acceptor reason names the fingerprint" true (contains reason "fingerprint"));
+  match Mesh_tcp.read_ack a ~proc:1 ~peer:0 with
+  | () -> Alcotest.fail "dialer was accepted despite the mismatch"
+  | exception Mesh_tcp.Handshake_failure { proc = 1; peer = 0; reason } ->
+    check_bool "dialer reason names the fingerprint" true (contains reason "fingerprint")
+
+let test_tcp_handshake_wrong_peer () =
+  (* A hello addressed to the wrong PE (misrouted roster) is rejected
+     just like a bad fingerprint. *)
+  with_socketpair @@ fun a b ->
+  Mesh_tcp.send_hello a ~fingerprint:"fp" ~src:1 ~dst:5;
+  (match Mesh_tcp.accept_hello b ~fingerprint:"fp" ~self:0 with
+  | _ -> Alcotest.fail "acceptor took a hello addressed elsewhere"
+  | exception Mesh_tcp.Handshake_failure _ -> ());
+  match Mesh_tcp.read_ack a ~proc:1 ~peer:0 with
+  | () -> Alcotest.fail "dialer accepted"
+  | exception Mesh_tcp.Handshake_failure _ -> ()
+
+let test_tcp_handshake_ok_and_framing () =
+  (* The happy path over the same fds, then Wire frames across them:
+     the TCP mesh is exactly the socketpair mesh's framing on a
+     different transport. *)
+  with_socketpair @@ fun a b ->
+  Mesh_tcp.send_hello a ~fingerprint:"fp" ~src:1 ~dst:0;
+  check_int "acceptor learns the dialer's PE" 1
+    (Mesh_tcp.accept_hello b ~fingerprint:"fp" ~self:0);
+  Mesh_tcp.read_ack a ~proc:1 ~peer:0;
+  let batch = List.init 100 (fun i -> ((i mod 4, i), float_of_int i /. 7.0)) in
+  Wire.write a batch;
+  check_bool "framed batch survives" true (Wire.read b = Ok batch)
+
+let test_tcp_dial_backoff_race () =
+  (* The boot race the backoff exists for: the peer's listener is
+     bound but not yet listening when we dial.  The child inherits
+     the bound fd, sleeps past several ECONNREFUSED dial attempts,
+     then listens and accepts; the dial must retry into the live
+     listener, handshake, and carry frames. *)
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try
+        Unix.sleepf 0.15;
+        Unix.listen lfd 4;
+        let fd, _ = Unix.accept lfd in
+        let src = Mesh_tcp.accept_hello fd ~fingerprint:"fp" ~self:0 in
+        if src <> 1 then raise Exit;
+        (match (Wire.read fd : ((int * int) * float, Wire.error) result) with
+        | Ok ((1, 2), 3.5) -> ()
+        | _ -> raise Exit);
+        Wire.write fd ((2, 1), 7.0);
+        0
+      with _ -> 1
+    in
+    Unix._exit code
+  | pid ->
+    (* our copy closes; the child's keeps the port bound-but-refusing *)
+    Unix.close lfd;
+    let fd =
+      Mesh_tcp.dial_with_backoff ~deadline:10.0 { Mesh_tcp.host = "127.0.0.1"; port }
+    in
+    Mesh_tcp.send_hello fd ~fingerprint:"fp" ~src:1 ~dst:0;
+    Mesh_tcp.read_ack fd ~proc:1 ~peer:0;
+    Wire.write fd ((1, 2), 3.5);
+    check_bool "reply over the dialed link" true (Wire.read fd = Ok ((2, 1), 7.0));
+    Unix.close fd;
+    let _, status = Unix.waitpid [] pid in
+    check_bool "late listener exited clean" true (status = Unix.WEXITED 0)
+
+let test_runner_fingerprint () =
+  let flat1, prog1 = compile ~iterations:6 (Parser.parse Mimd_workloads.Fig1.source) in
+  let flat2, prog2 = compile ~iterations:6 (Parser.parse Mimd_workloads.Fig1.source) in
+  check_string "same schedule, same fingerprint"
+    (Runner.fingerprint ~loop:flat1 ~program:prog1)
+    (Runner.fingerprint ~loop:flat2 ~program:prog2);
+  let flat3, prog3 = compile ~iterations:7 (Parser.parse Mimd_workloads.Fig1.source) in
+  check_bool "different iterations, different fingerprint" true
+    (Runner.fingerprint ~loop:flat1 ~program:prog1
+    <> Runner.fingerprint ~loop:flat3 ~program:prog3)
+
+let tcp = Runner.Tcp { roster = None; handshake_fault = None }
+
+let test_runner_tcp_differential () =
+  List.iter
+    (fun (name, p, src) ->
+      dist_differential ~name ~p ~iterations:8 ~transport:tcp (Parser.parse src))
+    [
+      ("fig1 over tcp", 2, Mimd_workloads.Fig1.source);
+      ("fig7 over tcp", 2, Mimd_workloads.Fig7.source);
+      ("ewf p=3 over tcp", 3, Mimd_workloads.Elliptic.source);
+    ];
+  check_bool "no orphan processes" true (no_children_left ())
+
+let test_runner_tcp_random_slice () =
+  (* A fast slice of the TCP loopback sweep CI runs through the CLI. *)
+  for seed = 1 to 8 do
+    let loop = Mimd_workloads.Random_loop.generate_loop ~seed () in
+    dist_differential
+      ~name:(Printf.sprintf "tcp seed %d" seed)
+      ~iterations:6 ~transport:tcp loop
+  done
+
+let test_runner_tcp_handshake_must_fail () =
+  (* One PE presents a corrupted fingerprint at the rendezvous: the
+     run must fail structurally (Child_error naming the handshake)
+     before any value is computed, and reap everyone. *)
+  let flat, program = compile ~iterations:8 (Parser.parse Mimd_workloads.Fig7.source) in
+  (match
+     Runner.run
+       ~transport:(Runner.Tcp { roster = None; handshake_fault = Some 0 })
+       ~loop:flat ~program ()
+   with
+  | _ -> Alcotest.fail "corrupted fingerprint but the run reported success"
+  | exception Runner.Dist_error (Runner.Child_error { message; _ }) ->
+    check_bool "error names the fingerprint mismatch" true (contains message "fingerprint")
+  | exception Runner.Dist_error (Runner.Child_exit _) ->
+    (* the race: a rejected peer's _exit can be seen before its
+       report; still a structured pre-compute failure *)
+    ());
+  check_bool "no orphan processes" true (no_children_left ())
+
+(* ---------------------------------------------------------------- *)
+(* Respawn: the storm breaker and whole-run retry                     *)
+
+let test_respawn_breaker () =
+  let b = Respawn.create ~window:10.0 ~limit:3 () in
+  check_bool "1st admitted" true (Respawn.record ~now:0.0 b);
+  check_bool "2nd admitted" true (Respawn.record ~now:1.0 b);
+  check_bool "3rd admitted" true (Respawn.record ~now:2.0 b);
+  check_bool "not tripped at the limit" false (Respawn.tripped b);
+  check_bool "4th inside the window refused" false (Respawn.record ~now:3.0 b);
+  check_bool "now tripped" true (Respawn.tripped b);
+  check_bool "no auto-reset, even far outside the window" false
+    (Respawn.record ~now:1000.0 b);
+  check_int "total counts admissions only" 3 (Respawn.total b);
+  (* sliding window: spaced-out respawns never trip *)
+  let s = Respawn.create ~window:1.0 ~limit:2 () in
+  check_bool "t=0" true (Respawn.record ~now:0.0 s);
+  check_bool "t=2" true (Respawn.record ~now:2.0 s);
+  check_bool "t=4" true (Respawn.record ~now:4.0 s);
+  check_bool "spaced respawns never trip" false (Respawn.tripped s);
+  check_bool "limit < 1 rejected" true
+    (match Respawn.create ~limit:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_runner_respawn_recovers () =
+  (* Sabotage exactly the first attempt; with a respawn budget the
+     retry must produce the full bit-identical outcome and leave no
+     orphans.  (A run is a deterministic pure function, so whole-run
+     retry is the sound respawn unit — see the Runner doc.) *)
+  let flat, program = compile ~iterations:200 (Parser.parse Mimd_workloads.Fig7.source) in
+  let first = ref true in
+  let outcome =
+    Runner.run ~respawn:2
+      ~sabotage:(fun pids ->
+        if !first then begin
+          first := false;
+          try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ()
+        end)
+      ~loop:flat ~program ()
+  in
+  (match Value_run.check_against_sequential ~loop:flat ~iterations:200 outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "respawned run vs interp: %s" e);
+  check_bool "sabotage consumed" false !first;
+  check_bool "no orphan processes" true (no_children_left ())
+
+let test_runner_respawn_exhausted () =
+  (* The sabotage kills every attempt: the budget must run out and the
+     structured failure surface, still with no orphans. *)
+  let flat, program = compile ~iterations:3000 (Parser.parse Mimd_workloads.Fig7.source) in
+  let attempts = ref 0 in
+  (match
+     Runner.run ~respawn:1
+       ~sabotage:(fun pids ->
+         incr attempts;
+         try Unix.kill pids.(0) Sys.sigkill with Unix.Unix_error _ -> ())
+       ~loop:flat ~program ()
+   with
+  | _ -> Alcotest.fail "every attempt was killed yet the run succeeded"
+  | exception Runner.Dist_error (Runner.Child_exit _ | Runner.Child_error _) -> ());
+  check_int "original + one respawn" 2 !attempts;
+  check_bool "no orphan processes" true (no_children_left ())
 
 let test_linkprobe () =
   let t = Linkprobe.probe ~rounds:20 ~procs:2 () in
@@ -630,6 +851,97 @@ let test_router_admission_shed () =
   check_bool "accepted requests all completed" true (!ok + !shed = burst);
   check_bool "at least one accepted" true (!ok > 0)
 
+let member_int name j = Option.bind (Json.member name j) Json.to_int_opt
+
+let test_router_respawn () =
+  (* Kill a worker under --respawn: the warden must re-fork it, the
+     router must boot-ping and re-admit it, and the fleet must answer
+     compiles at full strength with the respawn visible in stats and
+     in mimd_dist_respawns_total. *)
+  with_router ~workers:2 ~extra:[ "--respawn"; "2" ] @@ fun sock ->
+  let c = client_connect sock in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  let st = stats c in
+  (match Json.member "respawn" st with
+  | Some r -> check_bool "supervision on" true (member_bool "enabled" r = Some true)
+  | None -> Alcotest.fail "stats has no respawn object");
+  let pids = worker_pids st in
+  check_int "two workers up" 2 (List.length pids);
+  let victim, _ = List.hd pids in
+  Unix.kill victim Sys.sigkill;
+  (* poll: death noticed, warden re-forked, boot ping answered *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_recovered () =
+    let st = stats c in
+    if member_int "live" st = Some 2 && member_int "respawns" st = Some 1 then st
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "fleet never recovered: live=%s respawns=%s"
+        (Option.fold ~none:"?" ~some:string_of_int (member_int "live" st))
+        (Option.fold ~none:"?" ~some:string_of_int (member_int "respawns" st))
+    else begin
+      Unix.sleepf 0.2;
+      wait_recovered ()
+    end
+  in
+  let st = wait_recovered () in
+  check_bool "death counted" true (member_int "worker_deaths" st = Some 1);
+  (* the respawned worker has a fresh pid in the same slot *)
+  let pids' = worker_pids st in
+  check_int "still two workers listed" 2 (List.length pids');
+  check_bool "victim's pid replaced" true (not (List.mem_assoc victim pids'));
+  List.iteri
+    (fun i stmt ->
+      let r = rpc c (compile_req ~id:(200 + i) ~stmt) in
+      check_bool (Printf.sprintf "compile %d ok after respawn" i) true
+        (member_bool "ok" r = Some true))
+    [ "Y[i]"; "Y[i] * 5"; "Y[i] + 6"; "Y[i] - 7" ];
+  let m = rpc c {|{"id":"m","op":"metrics"}|} in
+  let text = Option.value ~default:"" (member_string "metrics" m) in
+  check_bool "mimd_dist_respawns_total exported" true
+    (contains text "mimd_dist_respawns_total 1")
+
+let test_router_retune () =
+  (* The client-driven closed loop: compile primes a worker's hot set,
+     a retune broadcast re-prices it at the requested k, and the same
+     loop at that k is then served from the recompiled cache.  One
+     worker: the shard key includes k, so with a wider fleet the
+     retuned request could land on a cold worker. *)
+  with_router ~workers:1 @@ fun sock ->
+  let c = client_connect sock in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  let r1 = rpc c (compile_req ~id:1 ~stmt:"Y[i]") in
+  check_bool "compile ok" true (member_bool "ok" r1 = Some true);
+  let rt = rpc c {|{"id":"t","op":"retune","k":5}|} in
+  check_bool "retune ok" true (member_bool "ok" rt = Some true);
+  (match Json.member "retuned" rt with
+  | None -> Alcotest.fail "no retuned payload"
+  | Some r ->
+    check_bool "k echoed" true (member_int "k" r = Some 5);
+    check_bool "the hot entry was re-priced" true
+      (match member_int "entries" r with Some n -> n >= 1 | None -> false);
+    check_bool "recompiled at the new k" true
+      (match member_int "recompiled" r with Some n -> n >= 1 | None -> false));
+  let r2 =
+    rpc c
+      {|{"id":2,"op":"compile","loop":"for i = 1 to n { X[i] = X[i-1] + Y[i]; }","iterations":40,"k":5}|}
+  in
+  check_bool "compile at the retuned k ok" true (member_bool "ok" r2 = Some true);
+  check_bool "served from the retune-primed cache" true
+    (member_string "tier" r2 = Some "memory" || member_string "tier" r2 = Some "disk");
+  let st = stats c in
+  check_bool "retune counted" true
+    (match member_int "retunes" st with Some n -> n >= 1 | None -> false);
+  check_bool "stats carries the slo object" true (Json.member "slo" st <> None)
+
+let test_router_retune_validation () =
+  with_router ~workers:1 @@ fun sock ->
+  let c = client_connect sock in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  let r = rpc c {|{"id":1,"op":"retune"}|} in
+  check_bool "missing k rejected" true (member_bool "ok" r = Some false);
+  let r = rpc c {|{"id":2,"op":"retune","k":-3}|} in
+  check_bool "negative k rejected" true (member_bool "ok" r = Some false)
+
 let suite =
   [
     Alcotest.test_case "wire: round-trip + clean close" `Quick test_wire_roundtrip;
@@ -653,9 +965,31 @@ let suite =
     Alcotest.test_case "runner: killed child -> structured error" `Quick test_runner_kill_child;
     Alcotest.test_case "runner: stalled child -> watchdog" `Quick test_runner_stall_detected;
     Alcotest.test_case "runner: child traces absorbed" `Quick test_runner_traces_absorbed;
+    Alcotest.test_case "tcp: addr parsing" `Quick test_tcp_addr_parse;
+    Alcotest.test_case "tcp: handshake fingerprint mismatch" `Quick
+      test_tcp_handshake_fingerprint_mismatch;
+    Alcotest.test_case "tcp: handshake wrong peer" `Quick test_tcp_handshake_wrong_peer;
+    Alcotest.test_case "tcp: handshake ok + framing" `Quick test_tcp_handshake_ok_and_framing;
+    Alcotest.test_case "tcp: dial backoff beats the boot race" `Quick
+      test_tcp_dial_backoff_race;
+    Alcotest.test_case "runner: schedule fingerprint" `Quick test_runner_fingerprint;
+    Alcotest.test_case "runner: TCP loopback differential" `Quick
+      test_runner_tcp_differential;
+    Alcotest.test_case "runner: TCP 8-seed random slice" `Slow test_runner_tcp_random_slice;
+    Alcotest.test_case "runner: TCP handshake must-fail" `Quick
+      test_runner_tcp_handshake_must_fail;
+    Alcotest.test_case "respawn: storm breaker" `Quick test_respawn_breaker;
+    Alcotest.test_case "runner: respawn recovers a killed run" `Quick
+      test_runner_respawn_recovers;
+    Alcotest.test_case "runner: respawn budget exhausts" `Quick
+      test_runner_respawn_exhausted;
     Alcotest.test_case "linkprobe: effective k measured" `Quick test_linkprobe;
     Alcotest.test_case "router: end-to-end over 2 workers" `Quick test_router_e2e;
     Alcotest.test_case "router: shard key deterministic" `Quick test_router_shard_key_deterministic;
     Alcotest.test_case "router: failover on worker death" `Quick test_router_failover;
     Alcotest.test_case "router: admission control sheds" `Quick test_router_admission_shed;
+    Alcotest.test_case "router: respawn recovers the fleet" `Quick test_router_respawn;
+    Alcotest.test_case "router: retune broadcast re-prices hot loops" `Quick
+      test_router_retune;
+    Alcotest.test_case "router: retune validation" `Quick test_router_retune_validation;
   ]
